@@ -1,0 +1,41 @@
+"""ABL-ALLOC: load-balancing policy in the Section-4 model.
+
+Reproduction finding (see ModelParams docs): with the paper's own
+parameters, balancing only the computation phase (the literal Eq. 4-5)
+makes Eq. 8's maximum land on the slowest processor and speculation
+*loses* at p = 16; balancing the total speculative workload restores
+the published Fig. 5 behaviour.
+"""
+
+from repro.harness import format_table
+from repro.perfmodel import PerformanceModel, section4_params
+
+
+def run_ablation():
+    rows = []
+    for allocation in ("compute", "total"):
+        model = PerformanceModel(section4_params(k=0.02, allocation=allocation))
+        for p in (4, 8, 16):
+            rows.append([
+                allocation,
+                p,
+                model.speedup_nospec(p),
+                model.speedup_spec(p),
+                model.speedup_spec(p) / model.speedup_nospec(p) - 1.0,
+            ])
+    return rows
+
+
+def bench_ablation_allocation(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["allocation", "p", "no spec", "spec", "gain"],
+        rows,
+        title="ABL-ALLOC: Eq. 4-5 compute balancing vs total-workload balancing",
+    ))
+    gain = {(r[0], r[1]): r[4] for r in rows}
+    # Literal compute balancing: speculation loses at p=16.
+    assert gain[("compute", 16)] < 0.0
+    # Total balancing: speculation wins at p=16 (the published shape).
+    assert gain[("total", 16)] > 0.10

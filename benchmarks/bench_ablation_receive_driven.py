@@ -1,0 +1,108 @@
+"""ABL-RECV: Fig. 7 receive-driven overlap vs blocking vs speculation.
+
+The paper's actual no-speculation N-body (Fig. 7) absorbs each message
+as it arrives instead of waiting for all of them — a speculation-free
+form of overlap.  Two findings:
+
+1. Under *steady* traffic with compute > communication, mere
+   reordering already captures most of the masking: receive-driven
+   lands within a few percent of FW=1 speculation (both far ahead of
+   the Fig. 1 blocking exchange).
+2. Under a *transient* delay (the Fig. 4 scenario), receive-driven
+   still stalls on the delayed message — it cannot proceed past a
+   missing input — while speculation sails through.  That gap is the
+   paper's actual contribution.
+"""
+
+from repro.apps import NBodyProgram
+from repro.core import ReceiveDrivenDriver, run_program
+from repro.harness import format_table
+from repro.harness.toys import IncrementalConstantProgram
+from repro.nbody import uniform_cube
+from repro.netsim import ConstantLatency, DelayNetwork, TransientSpikes
+from repro.netsim.latency import Spike
+from repro.platforms import wustl_1994
+from repro.vm import Cluster, uniform_specs
+
+
+def steady_rows():
+    def build():
+        platform = wustl_1994(p=16, jitter_sigma=0.8, background_frames_per_s=24,
+                              bursty_traffic=True, seed=1)
+        system = uniform_cube(1000, seed=42, softening=0.1)
+        prog = NBodyProgram(system, platform.capacities(), iterations=12,
+                            dt=0.015, threshold=0.01)
+        return prog, platform.cluster()
+
+    rows = []
+    prog, cluster = build()
+    rows.append(["steady", "blocking (Fig. 1)",
+                 run_program(prog, cluster, fw=0).time_per_iteration])
+    prog, cluster = build()
+    rows.append(["steady", "receive-driven (Fig. 7)",
+                 ReceiveDrivenDriver(prog, cluster).run().time_per_iteration])
+    prog, cluster = build()
+    rows.append(["steady", "speculative FW=1 (Fig. 3)",
+                 run_program(prog, cluster, fw=1, cascade="none").time_per_iteration])
+    return rows
+
+
+def transient_rows():
+    """Three processors; the first message on one path is delayed for
+    several compute-times (Fig. 4's scenario)."""
+    spike = Spike(extra=4.0, t_start=0.5, t_end=1.5, src=0, dst=1)
+
+    def build():
+        prog = IncrementalConstantProgram(nprocs=3, iterations=6,
+                                          ops_per_compute=1000.0)
+        cluster = Cluster(
+            uniform_specs(3, capacity=1000.0),
+            network_factory=lambda env: DelayNetwork(
+                env, TransientSpikes(ConstantLatency(0.3), spikes=(spike,))
+            ),
+        )
+        return prog, cluster
+
+    rows = []
+    prog, cluster = build()
+    rows.append(["transient", "blocking (Fig. 1)",
+                 run_program(prog, cluster, fw=0).makespan])
+    prog, cluster = build()
+    rows.append(["transient", "receive-driven (Fig. 7)",
+                 ReceiveDrivenDriver(prog, cluster).run().makespan])
+    prog, cluster = build()
+    rows.append(["transient", "speculative FW=2 (Fig. 3)",
+                 run_program(prog, cluster, fw=2, cascade="none").makespan])
+    return rows
+
+
+def run_comparison():
+    return steady_rows() + transient_rows()
+
+
+def bench_ablation_receive_driven(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["scenario", "algorithm", "time (s)"],
+        rows,
+        title="ABL-RECV: overlap by reordering vs overlap by speculation",
+    ))
+    t = {(r[0], r[1]): r[2] for r in rows}
+    # Steady: reordering captures most of the masking; speculation ties.
+    assert t[("steady", "receive-driven (Fig. 7)")] < 0.75 * t[("steady", "blocking (Fig. 1)")]
+    assert t[("steady", "speculative FW=1 (Fig. 3)")] < 1.1 * t[("steady", "receive-driven (Fig. 7)")]
+    # Transient: receive-driven only reorders -- it still cannot start
+    # the next iteration before the delayed input lands, so its gain is
+    # bounded by the absorb overlap; speculation rides through the
+    # delayed message and recovers a further ~FW compute-times.
+    block, recv, spec = (
+        t[("transient", "blocking (Fig. 1)")],
+        t[("transient", "receive-driven (Fig. 7)")],
+        t[("transient", "speculative FW=2 (Fig. 3)")],
+    )
+    assert recv < block
+    assert spec < 0.92 * recv
+    # The extra saving of speculation over reordering is at least one
+    # full compute-time (1 s here) -- the run-ahead recv cannot do.
+    assert recv - spec >= 1.0

@@ -1,0 +1,16 @@
+"""FIG2: two-processor timelines — blocking vs good/bad speculation.
+
+Paper claim: T_spec_good < T_no_spec < T_spec_nogood (Fig. 2a–c).
+"""
+
+from repro.harness import fig2_timelines
+
+
+def bench_fig2(benchmark, artifact_sink):
+    result = benchmark.pedantic(fig2_timelines, rounds=1, iterations=1)
+    artifact_sink(result)
+    makespans = {label: t for label, t, _ in result.rows}
+    good = makespans["(b) speculation, all good"]
+    none = makespans["(a) no speculation (FW=0)"]
+    bad = makespans["(c) speculation, all bad"]
+    assert good < none < bad

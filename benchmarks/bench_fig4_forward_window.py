@@ -1,0 +1,15 @@
+"""FIG4: forward window under a transient delay (FW = 0/1/2).
+
+Paper claim: a transient delay longer than one iteration's compute is
+only partially masked by FW = 1; FW = 2 recovers more (Fig. 4a–c).
+"""
+
+from repro.harness import fig4_forward_window
+
+
+def bench_fig4(benchmark, artifact_sink):
+    result = benchmark.pedantic(fig4_forward_window, rounds=1, iterations=1)
+    artifact_sink(result)
+    makespan = {fw: t for fw, t, _ in result.rows}
+    assert makespan[1] < makespan[0]
+    assert makespan[2] < makespan[1]

@@ -1,0 +1,24 @@
+"""FIG5: Section-4 model speedup vs p, speculation vs blocking (k = 2%).
+
+Paper claims: negligible difference at 2–5 processors; significant
+gain at p = 16 (paper: ~25 %); the no-speculation curve decreases
+beyond ~10 processors.
+"""
+
+from repro.harness import fig5_model_speedup
+
+
+def bench_fig5(benchmark, artifact_sink):
+    result = benchmark.pedantic(fig5_model_speedup, rounds=1, iterations=1)
+    artifact_sink(result)
+    rows = {int(p): (ns, sp, mx) for p, ns, sp, mx in result.rows}
+    # Little difference at small p.
+    assert abs(rows[2][1] / rows[2][0] - 1.0) < 0.10
+    # Significant gain at p = 16.
+    assert rows[16][1] / rows[16][0] > 1.10
+    # No-speculation curve rolls over beyond ~10 processors.
+    nospec = [rows[p][0] for p in sorted(rows)]
+    tail = nospec[9:]
+    assert any(b < a for a, b in zip(tail, tail[1:]))
+    # Everything bounded by the maximum attainable speedup.
+    assert all(sp <= mx + 1e-9 and ns <= mx + 1e-9 for ns, sp, mx in rows.values())

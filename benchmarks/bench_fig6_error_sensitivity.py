@@ -1,0 +1,18 @@
+"""FIG6: model speedup on 8 processors vs recomputation fraction k.
+
+Paper claim: speculation wins for small k and loses once k grows past
+roughly 10 % on the 8-processor configuration.
+"""
+
+from repro.harness import fig6_error_sensitivity
+
+
+def bench_fig6(benchmark, artifact_sink):
+    result = benchmark.pedantic(fig6_error_sensitivity, rounds=1, iterations=1)
+    artifact_sink(result)
+    spec = [row[1] for row in result.rows]
+    nospec = result.rows[0][2]
+    assert spec[0] > nospec          # k = 0: clear win
+    assert spec[-1] < nospec         # k = 30%: clear loss
+    assert all(a >= b - 1e-12 for a, b in zip(spec, spec[1:]))  # monotone
+    assert 0.02 < result.extra["crossover_k"] < 0.40

@@ -1,0 +1,17 @@
+"""FIG9: Section-4 model vs measured N-body speedups.
+
+Paper claim: model within 10 % of measurement for p <= 8 and within
+25 % up to 16 processors.
+"""
+
+from repro.harness import fig9_model_vs_measured
+
+
+def bench_fig9(benchmark, artifact_sink):
+    result = benchmark.pedantic(fig9_model_vs_measured, rounds=1, iterations=1)
+    artifact_sink(result)
+    for p, _mns, _ons, dev_ns, _msp, _osp, dev_sp in result.rows:
+        if p <= 8:
+            assert dev_ns < 10.0 and dev_sp < 10.0
+        else:
+            assert dev_ns < 25.0 and dev_sp < 25.0

@@ -1,0 +1,32 @@
+"""TAB3: acceptance threshold theta vs incorrect speculations / force error.
+
+Paper reference::
+
+    theta   incorrect   max force error
+    0.1     <1%         20%
+    0.05    <1%         10%
+    0.01    2%          2%
+    0.005   5%          1%
+    0.001   20%         0.2%
+"""
+
+from repro.harness import table3_threshold_sweep
+
+
+def bench_table3(benchmark, artifact_sink):
+    result = benchmark.pedantic(table3_threshold_sweep, rounds=1, iterations=1)
+    artifact_sink(result)
+    rows = result.rows  # (theta, incorrect %, force error %)
+    thetas = [r[0] for r in rows]
+    incorrect = [r[1] for r in rows]
+    force_err = [r[2] for r in rows]
+    assert thetas == sorted(thetas, reverse=True)
+    # Tighter theta -> monotonically more rejected speculations ...
+    assert all(a <= b + 1e-9 for a, b in zip(incorrect, incorrect[1:]))
+    # ... and monotonically smaller accepted force error.
+    assert all(a >= b - 1e-9 for a, b in zip(force_err, force_err[1:]))
+    # Operating point theta=0.01: a few percent rejected (paper: 2%).
+    by_theta = {r[0]: r for r in rows}
+    assert 0.2 <= by_theta[0.01][1] <= 8.0
+    # Loose theta admits order-of-magnitude larger force errors.
+    assert force_err[0] > 5 * force_err[-1]

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one of the paper's artifacts through
+:mod:`repro.harness` and (a) prints the table, (b) persists it under
+``benchmarks/output/`` so the artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture()
+def artifact_sink():
+    """Write an experiment's rendered text to benchmarks/output/<id>.txt."""
+
+    def sink(result) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / f"{result.experiment_id.lower()}.txt"
+        path.write_text(result.text)
+        print()
+        print(result.text)
+
+    return sink

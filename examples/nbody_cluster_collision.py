@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Domain scenario: two colliding star clusters on the full testbed.
+
+Simulates a 600-particle Plummer-sphere merger — the kind of workload
+the paper's introduction motivates — on all 16 simulated workstations,
+sweeping the forward window, and verifies the physics (momentum
+conservation and bounded drift from the serial reference) along the
+way.
+
+Run:  python examples/nbody_cluster_collision.py
+"""
+
+import numpy as np
+
+from repro import NBodyProgram, run_program, two_clusters, wustl_1994
+
+
+def main() -> None:
+    n, iterations, dt = 600, 12, 0.01
+
+    print(f"Two colliding Plummer spheres, {n} particles, 16 workstations\n")
+    print(f"{'FW':>3s} {'time/iter (s)':>14s} {'waiting (s)':>12s} "
+          f"{'rejected %':>11s} {'drift from serial':>18s}")
+
+    reference = None
+    for fw in (0, 1, 2):
+        platform = wustl_1994(
+            p=16, jitter_sigma=0.8, background_frames_per_s=24,
+            bursty_traffic=True, seed=2,
+        )
+        system = two_clusters(n, seed=11, separation=4.0, softening=0.1)
+        program = NBodyProgram(
+            system, platform.capacities(), iterations=iterations,
+            dt=dt, threshold=0.01,
+        )
+        result = run_program(program, platform.cluster(), fw=fw, cascade="none")
+        final = program.gather(result.final_blocks)
+
+        if reference is None:
+            reference = program.reference()
+        drift = float(np.max(np.linalg.norm(final.pos - reference.pos, axis=1)))
+
+        # Momentum is conserved by pairwise forces regardless of
+        # speculation (corrections are exact force substitutions).
+        momentum_error = float(
+            np.linalg.norm(final.momentum() - system.momentum())
+        )
+        assert momentum_error < 1e-6, momentum_error
+
+        b = result.steady_breakdown()
+        print(
+            f"{fw:>3d} {result.time_per_iteration:>14.3f} {b['comm']:>12.3f} "
+            f"{100 * program.spec_stats.incorrect_fraction:>11.2f} {drift:>18.2e}"
+        )
+
+    print(
+        "\nSpeculation masks most of the waiting time; the accepted"
+        "\nspeculation errors (bounded by theta) cause only a tiny drift"
+        "\nfrom the bit-exact serial trajectory."
+    )
+
+
+if __name__ == "__main__":
+    main()

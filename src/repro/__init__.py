@@ -1,0 +1,104 @@
+"""repro — speculative computation for masking communication delays.
+
+A production-quality reproduction of *"Speculative Computation:
+Overcoming Communication Delays in Parallel Algorithms"* (Vasudha
+Govindan and Mark A. Franklin, WUCS-94-3, Washington University in
+St. Louis, 1994).
+
+Quick start::
+
+    from repro import NBodyProgram, run_program, uniform_cube, wustl_1994
+
+    platform = wustl_1994(p=8)
+    system = uniform_cube(500, seed=0, softening=0.1)
+    program = NBodyProgram(system, platform.capacities(),
+                           iterations=10, dt=0.01, threshold=0.01)
+    blocking    = run_program(program, platform.cluster(), fw=0)
+    speculative = run_program(program, platform.cluster(), fw=1)
+    print(blocking.makespan, "->", speculative.makespan)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the speculation framework (drivers, speculators,
+  checkers, results).
+* :mod:`repro.apps` — N-body, heat equation, Jacobi, Kuramoto.
+* :mod:`repro.vm` / :mod:`repro.netsim` / :mod:`repro.des` — the
+  simulated cluster substrate.
+* :mod:`repro.perfmodel` — the Section-4 analytic model.
+* :mod:`repro.parallel` — real multiprocessing backend.
+* :mod:`repro.harness` — every table/figure of the paper as a runnable
+  experiment.
+"""
+
+from repro.apps import (
+    CoupledMapLattice,
+    HeatEquation1D,
+    HeatEquation2D,
+    JacobiSolver,
+    KuramotoProgram,
+    NBodyProgram,
+    WaveEquation1D,
+)
+from repro.core import (
+    DampedLinear,
+    LinearExtrapolation,
+    PolynomialExtrapolation,
+    RunResult,
+    SpecStats,
+    SpeculativeDriver,
+    Speculator,
+    SyncIterativeProgram,
+    WeightedHistory,
+    ZeroOrderHold,
+    run_program,
+    speedup,
+    speedup_max,
+)
+from repro.nbody import ParticleSystem, cold_disk, plummer_sphere, two_clusters, uniform_cube
+from repro.parallel import MPRunner
+from repro.perfmodel import ModelParams, PerformanceModel, section4_params
+from repro.platforms import PlatformConfig, modern_cluster, two_processor_demo, wustl_1994
+from repro.vm import Cluster, ProcessorSpec, linear_gradient_specs, uniform_specs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "CoupledMapLattice",
+    "DampedLinear",
+    "HeatEquation1D",
+    "HeatEquation2D",
+    "JacobiSolver",
+    "KuramotoProgram",
+    "LinearExtrapolation",
+    "ModelParams",
+    "MPRunner",
+    "NBodyProgram",
+    "WaveEquation1D",
+    "ParticleSystem",
+    "PerformanceModel",
+    "PlatformConfig",
+    "PolynomialExtrapolation",
+    "ProcessorSpec",
+    "RunResult",
+    "SpecStats",
+    "SpeculativeDriver",
+    "Speculator",
+    "SyncIterativeProgram",
+    "WeightedHistory",
+    "ZeroOrderHold",
+    "cold_disk",
+    "linear_gradient_specs",
+    "modern_cluster",
+    "plummer_sphere",
+    "run_program",
+    "section4_params",
+    "speedup",
+    "speedup_max",
+    "two_clusters",
+    "two_processor_demo",
+    "uniform_cube",
+    "uniform_specs",
+    "wustl_1994",
+    "__version__",
+]

@@ -1,0 +1,377 @@
+"""The paper's case study: parallel O(N²) N-body with speculation.
+
+Each simulated processor owns a block of particles (allocated
+proportionally to its capacity, as in the paper).  Per iteration it:
+
+1. sends its particles' positions and velocities to every other
+   processor (the block payload is an ``(n_k, 6)`` array: columns
+   0–2 position, 3–5 velocity);
+2. speculates the positions of particles whose messages are late using
+   Eq. 10 (constant velocity over the gap);
+3. computes the resultant force on its own particles from *all*
+   particles and advances them one semi-implicit Euler step;
+4. on arrival of a late message, checks each speculated particle with
+   the Eq. 11 pairwise ratio against θ and — exactly and
+   incrementally — corrects the contribution of the particles that
+   failed the check.
+
+Cost model (paper, Section 5): 70 flops per pair force, 12 flops to
+speculate a particle, 24 to check one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.program import SyncIterativeProgram
+from repro.core.receive_driven import IncrementalProgram
+from repro.nbody.barneshut import NODE_FLOPS, Octree, bh_accelerations
+from repro.nbody.forces import PAIR_FLOPS, accelerations_from_sources
+from repro.nbody.integrators import simulate
+from repro.nbody.particles import ParticleSystem
+from repro.nbody.speculation import (
+    CHECK_FLOPS_PER_PARTICLE,
+    SPECULATE_FLOPS_PER_PARTICLE,
+    pairwise_error_ratios,
+    speculate_positions,
+)
+from repro.partition import Partition, proportional_partition
+
+#: Extra flops per owned particle for the velocity/position update.
+INTEGRATE_FLOPS = 12.0
+
+
+@dataclass
+class NBodySpecStats:
+    """Particle-granularity speculation statistics (for Table 3).
+
+    The driver counts block-level accept/reject; the paper reports
+    *per-particle* figures, which the application accumulates here.
+    """
+
+    particles_checked: int = 0
+    particles_rejected: int = 0
+    #: Largest relative pair-force error among *accepted* speculations.
+    max_accepted_force_error: float = 0.0
+
+    @property
+    def incorrect_fraction(self) -> float:
+        """Paper Table 3's "Incorrect speculations" column."""
+        if self.particles_checked == 0:
+            return 0.0
+        return self.particles_rejected / self.particles_checked
+
+
+class NBodyProgram(IncrementalProgram):
+    """N-body simulation as a :class:`SyncIterativeProgram`.
+
+    Parameters
+    ----------
+    system:
+        Initial particle system (the global X(0)).
+    capacities:
+        Per-processor capacities M_i; particles are allocated
+        proportionally (Eq. 4–5).  Length defines nprocs.
+    iterations:
+        Number of timesteps.
+    dt:
+        Timestep size Δt.
+    threshold:
+        The Eq. 11 acceptance threshold θ (paper uses 0.01).
+    record_force_errors:
+        Also measure the relative pair-force error of accepted
+        speculations (Table 3's last column).  Costs one extra
+        pair-force evaluation per checked particle.
+    incremental_correction:
+        Repair rejected speculations by re-summing only the offending
+        particles' contributions (True; exact for those particles, and
+        O(n_bad · n_own) cheap), or by recomputing the whole block from
+        the actual values (False, the naive "recomputes its variables"
+        option the paper mentions; also removes the sub-threshold
+        errors of *accepted* particles in that block, at full
+        compute cost).
+    force_method:
+        ``"direct"`` — the paper's O(N²) summation.  ``"barnes_hut"`` —
+        the O(N log N) alternative of the paper's footnote 1, with
+        opening angle ``bh_theta``; the cost model then charges the
+        *measured* interaction count of the last tree traversal.
+        Barnes–Hut mode keeps the paper's *direct* pair-force
+        speculation corrections (exact for the corrected pairs; the
+        monopole approximation error is unaffected) and does not
+        support the Fig. 7 receive-driven decomposition (the tree
+        needs all blocks at once).
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        capacities: Sequence[float],
+        iterations: int,
+        dt: float = 0.01,
+        threshold: float = 0.01,
+        record_force_errors: bool = False,
+        incremental_correction: bool = True,
+        force_method: str = "direct",
+        bh_theta: float = 0.5,
+        partition: Optional[Partition] = None,
+    ) -> None:
+        super().__init__(nprocs=len(capacities), iterations=iterations, threshold=threshold)
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.system = system.copy()
+        self.dt = dt
+        self.record_force_errors = record_force_errors
+        self.incremental_correction = incremental_correction
+        if force_method not in ("direct", "barnes_hut"):
+            raise ValueError(f"unknown force_method {force_method!r}")
+        if bh_theta < 0:
+            raise ValueError("bh_theta must be >= 0")
+        self.force_method = force_method
+        self.bh_theta = bh_theta
+        #: Interactions evaluated by the most recent Barnes-Hut
+        #: traversal per rank (drives the measured cost model).
+        self._bh_last_interactions = [0] * self.nprocs
+        self.partition = (
+            partition
+            if partition is not None
+            else proportional_partition(system.n, capacities)
+        )
+        if self.partition.nprocs != self.nprocs:
+            raise ValueError("partition width must match capacities length")
+        if self.partition.n != system.n:
+            raise ValueError("partition size must match particle count")
+        #: Static per-rank mass arrays (masses never change; every rank
+        #: knows all of them from the initial distribution).
+        self.masses = [self.system.mass[idx] for idx in self.partition]
+        self._blocks0 = [
+            np.hstack([self.system.pos[idx], self.system.vel[idx]])
+            for idx in self.partition
+        ]
+        self.spec_stats = NBodySpecStats()
+
+    # ----------------------------------------------------------- numerics
+    def initial_block(self, rank: int) -> np.ndarray:
+        return self._blocks0[rank]
+
+    def compute(self, rank: int, inputs: Mapping[int, np.ndarray], t: int) -> np.ndarray:
+        if self.force_method == "barnes_hut":
+            return self._compute_barnes_hut(rank, inputs, t)
+        own = inputs[rank]
+        own_pos, own_vel = own[:, :3], own[:, 3:]
+        accel = accelerations_from_sources(
+            own_pos,
+            own_pos,
+            self.masses[rank],
+            G=self.system.G,
+            softening=self.system.softening,
+            exclude_self_pairs=True,
+        )
+        for k in range(self.nprocs):
+            if k == rank:
+                continue
+            block = inputs[k]
+            accel = accel + accelerations_from_sources(
+                own_pos,
+                block[:, :3],
+                self.masses[k],
+                G=self.system.G,
+                softening=self.system.softening,
+            )
+        new_vel = own_vel + accel * self.dt
+        new_pos = own_pos + new_vel * self.dt
+        return np.hstack([new_pos, new_vel])
+
+    def _compute_barnes_hut(self, rank: int, inputs: Mapping[int, np.ndarray], t: int) -> np.ndarray:
+        own = inputs[rank]
+        own_pos, own_vel = own[:, :3], own[:, 3:]
+        all_pos = np.vstack([inputs[k][:, :3] for k in range(self.nprocs)])
+        all_mass = np.concatenate([self.masses[k] for k in range(self.nprocs)])
+        tree = Octree(all_pos, all_mass)
+        accel, interactions = bh_accelerations(
+            own_pos,
+            tree,
+            G=self.system.G,
+            softening=self.system.softening,
+            opening_angle=self.bh_theta,
+        )
+        self._bh_last_interactions[rank] = interactions
+        new_vel = own_vel + accel * self.dt
+        new_pos = own_pos + new_vel * self.dt
+        return np.hstack([new_pos, new_vel])
+
+    def speculate(self, rank, k, times, values, target):
+        """Eq. 10 over the history gap: r* = r + v·(gap·Δt), v* = v."""
+        last = values[-1]
+        gap = target - times[-1]
+        pos = speculate_positions(last[:, :3], last[:, 3:], gap * self.dt)
+        return np.hstack([pos, last[:, 3:].copy()])
+
+    def check(self, rank, k, speculated, actual, own):
+        """Worst Eq. 11 ratio over k's particles vs. our particles."""
+        ratios = pairwise_error_ratios(speculated[:, :3], actual[:, :3], own[:, :3])
+        self.spec_stats.particles_checked += ratios.size
+        rejected = int(np.count_nonzero(ratios > self.threshold))
+        self.spec_stats.particles_rejected += rejected
+        if self.record_force_errors and ratios.size:
+            self._record_force_errors(speculated, actual, own, ratios)
+        return float(ratios.max()) if ratios.size else 0.0
+
+    def correct(self, rank, next_block, inputs, k, speculated, actual, t):
+        """Exact incremental correction of the rejected particles only.
+
+        Semi-implicit Euler is linear in the acceleration, so replacing
+        the contribution of the offending source particles repairs the
+        block exactly:  Δa = a(actual_bad) − a(spec_bad);
+        v ← v + Δa·Δt;  x ← x + Δa·Δt².
+        """
+        if not self.incremental_correction:
+            # Naive policy: recompute the whole block from scratch.
+            fixed = dict(inputs)
+            fixed[k] = actual
+            return self.compute(rank, fixed, t), self.compute_ops(rank)
+        own = inputs[rank]
+        own_pos = own[:, :3]
+        ratios = pairwise_error_ratios(speculated[:, :3], actual[:, :3], own_pos)
+        bad = ratios > self.threshold
+        n_bad = int(np.count_nonzero(bad))
+        if n_bad == 0:
+            # Driver-level rejection implies at least one bad particle;
+            # guard anyway (threshold exactly on the boundary).
+            return next_block, 0.0
+        a_spec = accelerations_from_sources(
+            own_pos,
+            speculated[bad, :3],
+            self.masses[k][bad],
+            G=self.system.G,
+            softening=self.system.softening,
+        )
+        a_act = accelerations_from_sources(
+            own_pos,
+            actual[bad, :3],
+            self.masses[k][bad],
+            G=self.system.G,
+            softening=self.system.softening,
+        )
+        delta = a_act - a_spec
+        new_vel = next_block[:, 3:] + delta * self.dt
+        new_pos = next_block[:, :3] + delta * self.dt * self.dt
+        ops = 2.0 * PAIR_FLOPS * n_bad * own_pos.shape[0] + 6.0 * own_pos.shape[0]
+        return np.hstack([new_pos, new_vel]), ops
+
+    def _record_force_errors(self, speculated, actual, own, ratios):
+        """Relative pair-force error vs the nearest local particle."""
+        accepted = ratios <= self.threshold
+        if not np.any(accepted):
+            return
+        sp = speculated[accepted, :3]
+        ap = actual[accepted, :3]
+        own_pos = own[:, :3]
+        # Nearest local particle for each accepted remote particle.
+        delta = ap[:, None, :] - own_pos[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", delta, delta))
+        nearest = dist.argmin(axis=1)
+        b = own_pos[nearest]
+        eps2 = self.system.softening**2
+        f_act = (ap - b) / ((np.sum((ap - b) ** 2, axis=1) + eps2) ** 1.5)[:, None]
+        f_spec = (sp - b) / ((np.sum((sp - b) ** 2, axis=1) + eps2) ** 1.5)[:, None]
+        norm = np.linalg.norm(f_act, axis=1)
+        norm[norm == 0] = 1.0
+        rel = np.linalg.norm(f_spec - f_act, axis=1) / norm
+        worst = float(rel.max())
+        if worst > self.spec_stats.max_accepted_force_error:
+            self.spec_stats.max_accepted_force_error = worst
+
+    # ------------------------------------------- incremental decomposition
+    def begin(self, rank, own, t):
+        """Accumulator = (own positions, intra-block acceleration)."""
+        if self.force_method != "direct":
+            raise NotImplementedError(
+                "receive-driven decomposition requires the direct force method"
+            )
+        own_pos = own[:, :3]
+        accel = accelerations_from_sources(
+            own_pos,
+            own_pos,
+            self.masses[rank],
+            G=self.system.G,
+            softening=self.system.softening,
+            exclude_self_pairs=True,
+        )
+        return (own_pos, accel)
+
+    def absorb(self, rank, acc, k, block, t):
+        """Add the acceleration contribution of block ``k``."""
+        own_pos, accel = acc
+        accel = accel + accelerations_from_sources(
+            own_pos,
+            block[:, :3],
+            self.masses[k],
+            G=self.system.G,
+            softening=self.system.softening,
+        )
+        return (own_pos, accel)
+
+    def finish(self, rank, acc, own, t):
+        """Integrate one semi-implicit Euler step from the summed forces."""
+        _, accel = acc
+        new_vel = own[:, 3:] + accel * self.dt
+        new_pos = own[:, :3] + new_vel * self.dt
+        return np.hstack([new_pos, new_vel])
+
+    def begin_ops(self, rank: int) -> float:
+        n_own = len(self.partition.indices(rank))
+        return PAIR_FLOPS * n_own * n_own
+
+    def absorb_ops(self, rank: int, k: int) -> float:
+        n_own = len(self.partition.indices(rank))
+        return PAIR_FLOPS * n_own * len(self.partition.indices(k))
+
+    def finish_ops(self, rank: int) -> float:
+        return INTEGRATE_FLOPS * len(self.partition.indices(rank))
+
+    # --------------------------------------------------------- cost model
+    def compute_ops(self, rank: int) -> float:
+        n_own = len(self.partition.indices(rank))
+        if self.force_method == "barnes_hut":
+            # Measured cost of the most recent traversal, plus an
+            # O(N log N / p) share of the tree build.
+            interactions = self._bh_last_interactions[rank]
+            if interactions == 0:  # before the first compute: estimate
+                interactions = int(n_own * 40 * max(np.log2(self.system.n), 1.0))
+            build = 12.0 * self.system.n * max(np.log2(self.system.n), 1.0)
+            return NODE_FLOPS * interactions + build + INTEGRATE_FLOPS * n_own
+        return PAIR_FLOPS * n_own * self.system.n + INTEGRATE_FLOPS * n_own
+
+    def speculate_ops(self, rank: int, k: int) -> float:
+        return SPECULATE_FLOPS_PER_PARTICLE * len(self.partition.indices(k))
+
+    def check_ops(self, rank: int, k: int) -> float:
+        return CHECK_FLOPS_PER_PARTICLE * len(self.partition.indices(k))
+
+    def block_nbytes(self, rank: int) -> int:
+        # 6 doubles per particle + a small header, as PVM would pack it.
+        return 48 * len(self.partition.indices(rank)) + 64
+
+    # ---------------------------------------------------------- reporting
+    def gather(self, blocks: Mapping[int, np.ndarray]) -> ParticleSystem:
+        """Reassemble the global particle system from final blocks."""
+        pos = np.empty_like(self.system.pos)
+        vel = np.empty_like(self.system.vel)
+        for rank, idx in enumerate(self.partition):
+            block = blocks[rank]
+            pos[idx] = block[:, :3]
+            vel[idx] = block[:, 3:]
+        return ParticleSystem(
+            mass=self.system.mass.copy(),
+            pos=pos,
+            vel=vel,
+            G=self.system.G,
+            softening=self.system.softening,
+        )
+
+    def reference(self) -> ParticleSystem:
+        """Serial ground truth after ``iterations`` timesteps."""
+        return simulate(self.system, dt=self.dt, steps=self.iterations, method="euler")

@@ -1,0 +1,120 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Subcommands
+-----------
+``repro list``
+    Show the reproducible artifacts.
+``repro run fig8 [--out FILE]``
+    Regenerate one of the paper's tables/figures and print it.
+``repro nbody --p 8 --fw 1 ...``
+    Run a single N-body experiment with explicit knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.harness import EXPERIMENTS
+
+    descriptions = {
+        "fig2": "two-processor timelines: blocking vs good/bad speculation",
+        "fig4": "forward window under a transient delay (FW=0/1/2)",
+        "fig5": "model speedup vs p (Section 4, k=2%)",
+        "fig6": "model speedup vs recomputation % (8 processors)",
+        "fig8": "measured N-body speedup vs p for FW=0/1/2",
+        "table2": "per-iteration phase times (16 procs, 1000 particles)",
+        "table3": "threshold theta vs incorrect speculations / force error",
+        "fig9": "model vs measured speedups",
+    }
+    for name in sorted(EXPERIMENTS):
+        print(f"{name:8s} {descriptions.get(name, '')}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness import get_experiment
+
+    try:
+        runner = get_experiment(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    result = runner()
+    print(result.text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.text)
+        print(f"(written to {args.out})")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"(JSON written to {args.json})")
+    return 0
+
+
+def _cmd_nbody(args: argparse.Namespace) -> int:
+    from repro.harness import run_nbody
+
+    program, result = run_nbody(
+        p=args.p,
+        fw=args.fw,
+        iterations=args.iterations,
+        n_particles=args.particles,
+        threshold=args.theta,
+    )
+    b = result.steady_breakdown() if result.iterations > 1 else result.breakdown()
+    print(
+        f"p={args.p} FW={args.fw} N={args.particles} T={args.iterations} "
+        f"theta={args.theta}"
+    )
+    print(f"  makespan            : {result.makespan:.3f} virtual s")
+    print(f"  time/iteration      : {result.time_per_iteration:.3f} s")
+    print(f"  compute / comm      : {b['compute']:.3f} / {b['comm']:.3f} s per iter")
+    print(f"  spec / check / corr : {b['spec']:.3f} / {b['check']:.3f} / {b['correct']:.3f}")
+    print(f"  rejected speculation: {100 * program.spec_stats.incorrect_fraction:.2f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Govindan & Franklin, WUCS-94-3 (1994): "
+        "speculative computation for masking communication delays.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list reproducible artifacts")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate a paper table/figure")
+    p_run.add_argument("experiment", help="artifact id, e.g. fig8 or table2")
+    p_run.add_argument("--out", help="also write the table to this file")
+    p_run.add_argument("--json", help="also write the structured rows as JSON")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_nb = sub.add_parser("nbody", help="run one N-body configuration")
+    p_nb.add_argument("--p", type=int, default=8, help="processors (1-16)")
+    p_nb.add_argument("--fw", type=int, default=1, help="forward window")
+    p_nb.add_argument("--particles", type=int, default=1000)
+    p_nb.add_argument("--iterations", type=int, default=10)
+    p_nb.add_argument("--theta", type=float, default=0.01)
+    p_nb.set_defaults(func=_cmd_nbody)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Runtime adaptation of the forward window.
+
+The paper tunes FW and BW offline: "FW and BW are tuned for a given
+algorithm and computing platform to maximize performance"
+(Section 3.2).  This extension tunes FW *online*, per processor, from
+two observable signals:
+
+* **waiting time** — virtual seconds blocked in the forward-window
+  wait during the last epoch.  Waiting means the window is too small
+  to absorb current delays → widen it.
+* **rejection rate** — fraction of checks rejected during the epoch.
+  Deep windows speculate across larger gaps; when the error-growth
+  (gap²) makes rejections expensive, shrink the window.
+
+The controller is deliberately simple (AIMD-flavoured): widen by one
+when the epoch's wait exceeds ``wait_fraction`` of the epoch span and
+rejections are below ``reject_low``; shrink by one when rejections
+exceed ``reject_high``.  Each rank adapts independently — slower ranks
+or ranks behind congested paths settle on different windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.driver import SpeculativeDriver, _RankState
+from repro.core.program import SyncIterativeProgram
+from repro.vm import Cluster, VirtualProcessor
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Controller parameters for :class:`AdaptiveSpeculativeDriver`.
+
+    Attributes
+    ----------
+    epoch:
+        Iterations between adaptation decisions.
+    min_fw / max_fw:
+        Window bounds (``min_fw = 0`` allows falling back to the
+        blocking algorithm when speculation never pays).
+    wait_fraction:
+        Widen when epoch wait time exceeds this fraction of the epoch's
+        wall span.
+    reject_low / reject_high:
+        Rejection-rate thresholds: widening requires the epoch rate
+        below ``reject_low``; above ``reject_high`` forces a shrink.
+    """
+
+    epoch: int = 4
+    min_fw: int = 0
+    max_fw: int = 4
+    wait_fraction: float = 0.05
+    reject_low: float = 0.10
+    reject_high: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.epoch < 1:
+            raise ValueError("epoch must be >= 1")
+        if not 0 <= self.min_fw <= self.max_fw:
+            raise ValueError("need 0 <= min_fw <= max_fw")
+        if not 0 <= self.wait_fraction:
+            raise ValueError("wait_fraction must be >= 0")
+        if not 0 <= self.reject_low <= self.reject_high <= 1:
+            raise ValueError("need 0 <= reject_low <= reject_high <= 1")
+
+
+class AdaptiveSpeculativeDriver(SpeculativeDriver):
+    """A speculative driver that retunes each rank's FW at runtime.
+
+    Parameters
+    ----------
+    program / cluster:
+        As for :class:`~repro.core.driver.SpeculativeDriver`.
+    fw:
+        *Initial* forward window for every rank.
+    policy:
+        Adaptation parameters.
+    cascade:
+        Correction cascade policy (see the base driver).
+    """
+
+    def __init__(
+        self,
+        program: SyncIterativeProgram,
+        cluster: Cluster,
+        fw: int = 1,
+        policy: AdaptivePolicy = AdaptivePolicy(),
+        cascade: str = "none",
+    ) -> None:
+        super().__init__(program, cluster, fw=fw, cascade=cascade)
+        if not policy.min_fw <= fw <= policy.max_fw:
+            raise ValueError("initial fw must lie within [min_fw, max_fw]")
+        self.policy = policy
+        #: Per-rank trajectory of (iteration, new_fw) decisions.
+        self.fw_history: list[list[tuple[int, int]]] = [
+            [(0, fw)] for _ in range(cluster.size)
+        ]
+        self._epoch_marks: list[dict] = [
+            {"start_time": 0.0, "checks": 0, "rejects": 0} for _ in range(cluster.size)
+        ]
+
+    def _post_iteration(self, proc: VirtualProcessor, st: _RankState, t: int) -> None:
+        pol = self.policy
+        if (t + 1) % pol.epoch != 0:
+            return
+        j = proc.rank
+        stats = self._stats[j]
+        mark = self._epoch_marks[j]
+
+        span = proc.env.now - mark["start_time"]
+        checks = stats.checks - mark["checks"]
+        rejects = stats.spec_rejected - mark["rejects"]
+        reject_rate = rejects / checks if checks else 0.0
+        wait = st.epoch_wait
+
+        new_fw = st.fw
+        if reject_rate > pol.reject_high and st.fw > pol.min_fw:
+            new_fw = st.fw - 1
+        elif (
+            span > 0
+            and wait > pol.wait_fraction * span
+            and reject_rate < pol.reject_low
+            and st.fw < pol.max_fw
+        ):
+            new_fw = st.fw + 1
+
+        if new_fw != st.fw:
+            st.fw = new_fw
+            self.fw_history[j].append((t + 1, new_fw))
+
+        # Reset the epoch window.
+        st.epoch_wait = 0.0
+        mark["start_time"] = proc.env.now
+        mark["checks"] = stats.checks
+        mark["rejects"] = stats.spec_rejected
+
+    def final_windows(self) -> list[int]:
+        """The FW each rank ended the run with."""
+        return [history[-1][1] for history in self.fw_history]

@@ -1,0 +1,72 @@
+"""Generic error metrics for speculated-vs-actual comparison.
+
+The acceptance rule of the paper (Section 3.1) is::
+
+    error = compare(X_k(t), X*_k(t))
+    if error > threshold: correct / recompute
+
+``compare`` is application-specific (the N-body app implements the
+pairwise Eq. 11 metric); these generic metrics serve array-valued
+applications that lack domain structure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class ErrorMetric(ABC):
+    """Scalar discrepancy between a speculated and an actual block."""
+
+    @abstractmethod
+    def error(self, speculated: np.ndarray, actual: np.ndarray) -> float:
+        """Non-negative scalar error; 0 means the speculation was exact."""
+
+    @staticmethod
+    def _validate(speculated: np.ndarray, actual: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        s = np.asarray(speculated, dtype=float)
+        a = np.asarray(actual, dtype=float)
+        if s.shape != a.shape:
+            raise ValueError(f"shape mismatch: {s.shape} vs {a.shape}")
+        return s, a
+
+
+class MaxAbsoluteError(ErrorMetric):
+    """max |x* - x| over all variables in the block."""
+
+    def error(self, speculated, actual):
+        s, a = self._validate(speculated, actual)
+        if s.size == 0:
+            return 0.0
+        return float(np.max(np.abs(s - a)))
+
+
+class MaxRelativeError(ErrorMetric):
+    """max |x* - x| / (|x| + eps): scale-free per-variable error.
+
+    ``eps`` guards against division by zero for near-zero actual
+    values.
+    """
+
+    def __init__(self, eps: float = 1e-12) -> None:
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.eps = eps
+
+    def error(self, speculated, actual):
+        s, a = self._validate(speculated, actual)
+        if s.size == 0:
+            return 0.0
+        return float(np.max(np.abs(s - a) / (np.abs(a) + self.eps)))
+
+
+class RmsError(ErrorMetric):
+    """Root-mean-square of (x* - x) over the block."""
+
+    def error(self, speculated, actual):
+        s, a = self._validate(speculated, actual)
+        if s.size == 0:
+            return 0.0
+        return float(np.sqrt(np.mean((s - a) ** 2)))

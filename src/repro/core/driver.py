@@ -1,0 +1,395 @@
+"""Synchronous-iterative drivers: blocking (Fig. 1/7) and speculative (Fig. 3/4).
+
+One driver, parameterised by the forward window FW:
+
+* ``fw = 0`` — the classical blocking algorithm: every processor
+  receives all X_k(t) before computing X_j(t+1) (Fig. 1; for N-body,
+  Fig. 7).
+* ``fw >= 1`` — the speculative algorithm: missing inputs are
+  speculated, computation proceeds, and stragglers are verified when
+  they arrive (Fig. 3).  ``fw`` bounds how many iterations the
+  processor may run ahead of its oldest unverified iteration
+  (Section 3.2's forward window, Fig. 4).
+
+Verification and correction semantics
+-------------------------------------
+When the actual X_k(t) arrives for a speculated input, the processor
+pays the check cost and evaluates the application's error metric.  If
+the error exceeds the threshold θ:
+
+* iteration t is repaired via the application's ``correct`` hook
+  (full recomputation by default, or an incremental fix-up); and
+* any iterations already computed *after* t (only possible with
+  fw > 1) are recomputed in order — a *cascade* — because their own
+  chain consumed the rejected value; still-missing remote inputs are
+  re-speculated from the now-improved history.
+
+Corrections are **local**, as in the paper: blocks already broadcast
+from speculative state are not re-sent (counted as ``tainted_sends``);
+synchronous iterative algorithms self-correct because full state is
+re-exchanged every iteration and errors below θ are tolerated by
+construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.core.program import Block, SyncIterativeProgram
+from repro.core.results import RunResult, SpecStats
+from repro.vm import Cluster, VirtualProcessor
+
+#: Message-tag family used by the drivers.
+VARS = "vars"
+
+
+class _RankState:
+    """Per-rank bookkeeping for one run (internal)."""
+
+    def __init__(
+        self,
+        rank: int,
+        program: SyncIterativeProgram,
+        hist_cap: int,
+        needed: frozenset[int],
+    ) -> None:
+        p = program.nprocs
+        self.rank = rank
+        #: Ranks whose blocks this rank's compute reads.
+        self.needed = needed
+        #: Own chain: chain[t] = X_rank(t); seeded with the initial block.
+        self.chain: dict[int, Block] = {0: program.initial_block(rank)}
+        #: Received (or initial) remote blocks: (k, t) -> block.
+        self.actual: dict[tuple[int, int], Block] = {}
+        #: Speculated values currently standing in for missing inputs.
+        self.spec_used: dict[tuple[int, int], Block] = {}
+        #: Exact inputs used to compute chain[t+1] (for corrections).
+        self.inputs_used: dict[int, dict[int, Block]] = {}
+        #: Bounded history of actuals per remote rank: deque of (t, block).
+        self.history: dict[int, deque] = {}
+        #: Remaining messages expected for iteration t (t >= 1).
+        self.missing: dict[int, int] = {}
+        #: Largest v such that iterations 0..v are fully received.
+        self.verified_upto = 0
+        #: Next iteration to compute (chain[frontier] is the newest block).
+        self.frontier = 0
+        #: Current forward window for this rank (drivers may adapt it).
+        self.fw = 0
+        #: Virtual seconds spent blocked in window waits this epoch.
+        self.epoch_wait = 0.0
+        for k in needed:
+            block0 = program.initial_block(k)
+            self.actual[(k, 0)] = block0
+            self.history[k] = deque([(0, block0)], maxlen=hist_cap)
+        if not needed:
+            # No remote inputs exist; every iteration is vacuously
+            # verified, so the windows never block.
+            self.verified_upto = program.iterations
+
+    def record_arrival(self, k: int, t: int, block: Block, expected: int) -> None:
+        """Store an actual block and advance the verified horizon."""
+        self.actual[(k, t)] = block
+        hist = self.history[k]
+        if hist and hist[-1][0] >= t:
+            raise RuntimeError(
+                f"out-of-order arrival from rank {k}: got t={t} after t={hist[-1][0]}"
+            )
+        hist.append((t, block))
+        self.missing[t] = self.missing.get(t, expected) - 1
+        while self.missing.get(self.verified_upto + 1, expected) == 0:
+            self.verified_upto += 1
+
+    def history_for(self, k: int) -> tuple[list[int], list[Block]]:
+        """(times, values) of the known actuals from rank ``k``."""
+        times = [t for t, _ in self.history[k]]
+        values = [b for _, b in self.history[k]]
+        return times, values
+
+    def prune(self) -> None:
+        """Drop bookkeeping no correction can ever need again.
+
+        Iterations strictly below both ``verified_upto`` (complete:
+        every message arrived, every check ran) and ``frontier`` (we
+        are past them locally) can never be read again — their inputs
+        and stale actuals are dead weight.
+        """
+        horizon = min(self.verified_upto, self.frontier)
+        for t in [t for t in self.inputs_used if t < horizon]:
+            del self.inputs_used[t]
+        for key in [key for key in self.actual if key[1] < horizon]:
+            del self.actual[key]
+        for t in [t for t in self.missing if t < horizon]:
+            del self.missing[t]
+        for t in [t for t in self.chain if t < horizon - 1]:
+            del self.chain[t]
+
+
+class SpeculativeDriver:
+    """Runs a :class:`SyncIterativeProgram` on a :class:`Cluster`.
+
+    Parameters
+    ----------
+    program:
+        The application (numerics + cost model).
+    cluster:
+        The virtual machine; ``cluster.size`` must equal
+        ``program.nprocs``.
+    fw:
+        Forward window; 0 disables speculation entirely.
+    cascade:
+        What to do with iterations computed *after* a rejected one
+        (reachable only when fw >= 2):
+
+        * ``"recompute"`` (default) — redo them in order from the
+          corrected state, re-speculating still-missing inputs.
+          Rigorous: with θ = 0 the local chain always equals what a
+          blocking run would have produced from the same inputs.
+        * ``"none"`` — correct only the iteration whose message just
+          arrived, as the paper's implementation does ("the resultant
+          force is recomputed"); downstream iterations keep their
+          slightly stale own-state, bounded by θ, and are repaired
+          implicitly as fresher messages arrive.  Far cheaper under
+          deep forward windows.
+    """
+
+    def __init__(
+        self,
+        program: SyncIterativeProgram,
+        cluster: Cluster,
+        fw: int = 1,
+        cascade: str = "recompute",
+    ) -> None:
+        if fw < 0:
+            raise ValueError("fw must be >= 0")
+        if cascade not in ("recompute", "none"):
+            raise ValueError(f"unknown cascade policy {cascade!r}")
+        self.cascade = cascade
+        if cluster.size != program.nprocs:
+            raise ValueError(
+                f"cluster has {cluster.size} processors but program wants {program.nprocs}"
+            )
+        self.program = program
+        self.cluster = cluster
+        self.fw = fw
+        hist_cap = max(getattr(program.speculator, "backward_window", 1), 2) + 2
+        self._hist_cap = hist_cap
+        self._stats = [SpecStats(rank=r) for r in range(cluster.size)]
+        #: needed[j]: ranks whose blocks j reads (validated once here).
+        self._needed = []
+        for j in range(cluster.size):
+            needed = frozenset(program.needed(j))
+            if j in needed or not needed <= set(range(cluster.size)):
+                raise ValueError(f"invalid needed set for rank {j}: {sorted(needed)}")
+            self._needed.append(needed)
+        #: audience[j]: ranks that read j's block (who j must send to).
+        self._audience = [
+            [k for k in range(cluster.size) if j in self._needed[k]]
+            for j in range(cluster.size)
+        ]
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> RunResult:
+        """Execute the program to completion; returns the measurements."""
+        finals = self.cluster.run(self._rank_program)
+        for stats, proc in zip(self._stats, self.cluster.processors):
+            stats.messages_sent = proc.sent_count
+            stats.messages_received = proc.recv_count
+        return RunResult(
+            makespan=self.cluster.env.now,
+            final_blocks={r: b for r, b in enumerate(finals)},
+            traces=self.cluster.traces(),
+            stats=self._stats,
+            fw=self.fw,
+            iterations=self.program.iterations,
+            capacities=self.cluster.capacities(),
+        )
+
+    # ---------------------------------------------------------- per-rank code
+    def _rank_program(self, proc: VirtualProcessor) -> Generator:
+        prog = self.program
+        j = proc.rank
+        T = prog.iterations
+        st = _RankState(j, prog, self._hist_cap, self._needed[j])
+        st.fw = self.fw
+        stats = self._stats[j]
+
+        for t in range(T):
+            # 1. Opportunistically absorb whatever has already arrived.
+            yield from self._drain(proc, st)
+
+            # 2a. Pre-send window: Fig. 3 sends X_j(t) only after the
+            #     previous iteration's trailing verification loop, so any
+            #     correction of X_j(t) lands *before* it goes on the wire.
+            #     (With fw >= 2 the processor is allowed to run further
+            #     ahead and sends may be tainted — counted below.)
+            pre_horizon = t - max(st.fw, 1)
+            while st.verified_upto < pre_horizon:
+                wait_start = proc.env.now
+                msg = yield from proc.recv(phase="comm", iteration=t)
+                st.epoch_wait += proc.env.now - wait_start
+                yield from self._process_message(proc, st, msg)
+
+            # 2b. Broadcast X_j(t) (iteration 0 is known everywhere from
+            #     the initial read; no message needed).
+            if t > 0 and self._audience[j]:
+                if any(key[1] < t for key in st.spec_used):
+                    stats.tainted_sends += 1
+                for dst in self._audience[j]:
+                    proc.send(
+                        dst, st.chain[t], tag=(VARS, t), nbytes=prog.block_nbytes(j)
+                    )
+                pack = prog.send_ops(j) * len(self._audience[j])
+                if pack > 0:
+                    # Sender-side software cost (PVM pack); serial with
+                    # the sender's own progress, like the real stack.
+                    yield from proc.compute(pack, phase="comm", iteration=t)
+
+            # 2c. Post-send window: with fw = 0 this is the blocking
+            #     receive of Fig. 1 — all X_k(t) must arrive before the
+            #     compute phase; with fw >= 1 it is a no-op beyond 2a.
+            while not self._window_ok(st, t):
+                wait_start = proc.env.now
+                msg = yield from proc.recv(phase="comm", iteration=t)
+                st.epoch_wait += proc.env.now - wait_start
+                yield from self._process_message(proc, st, msg)
+
+            # 3. Assemble inputs for iteration t, speculating what is missing.
+            inputs: dict[int, Block] = {j: st.chain[t]}
+            for k in sorted(st.needed):
+                known = st.actual.get((k, t))
+                if known is not None:
+                    inputs[k] = known
+                else:
+                    times, values = st.history_for(k)
+                    spec = prog.speculate(j, k, times, values, t)
+                    yield from proc.compute(
+                        prog.speculate_ops(j, k), phase="spec", iteration=t
+                    )
+                    st.spec_used[(k, t)] = spec
+                    inputs[k] = spec
+                    stats.spec_made += 1
+            st.inputs_used[t] = inputs
+
+            # 4. Compute X_j(t+1).
+            new_block = prog.compute(j, inputs, t)
+            yield from proc.compute(prog.compute_ops(j), phase="compute", iteration=t)
+            st.chain[t + 1] = new_block
+            st.frontier = t + 1
+            stats.iterations += 1
+            st.prune()
+            self._post_iteration(proc, st, t)
+
+        # 6. Final verification: wait out all stragglers so every
+        #    speculation is checked and corrected before reporting.
+        while st.verified_upto < T - 1:
+            msg = yield from proc.recv(phase="comm", iteration=T - 1)
+            yield from self._process_message(proc, st, msg)
+
+        return st.chain[T]
+
+    def _window_ok(self, st: _RankState, t: int) -> bool:
+        """May iteration ``t`` start given the rank's forward window?"""
+        if st.fw == 0:
+            return st.verified_upto >= t
+        return st.verified_upto >= t - st.fw
+
+    def _post_iteration(self, proc: VirtualProcessor, st: _RankState, t: int) -> None:
+        """Hook called after each completed iteration (adaptive drivers
+        override this to retune the rank's window)."""
+
+    # ------------------------------------------------------------- messages
+    def _drain(self, proc: VirtualProcessor, st: _RankState) -> Generator:
+        """Process every message already waiting in the mailbox."""
+        while True:
+            msg = proc.try_recv()
+            if msg is None:
+                return
+            yield from self._process_message(proc, st, msg)
+
+    def _process_message(self, proc: VirtualProcessor, st: _RankState, msg) -> Generator:
+        """Store an arrival; verify (and maybe correct) a past speculation."""
+        prog = self.program
+        j = proc.rank
+        stats = self._stats[j]
+        kind, t = msg.tag
+        if kind != VARS:  # pragma: no cover - no other traffic exists
+            raise RuntimeError(f"unexpected message tag {msg.tag!r}")
+        k = msg.src
+        if k not in st.needed:  # pragma: no cover - audience routing prevents this
+            return
+        actual = msg.payload
+        st.record_arrival(k, t, actual, expected=len(st.needed))
+
+        spec = st.spec_used.pop((k, t), None)
+        if spec is None:
+            return  # arrived before we needed it: no speculation to verify
+
+        yield from proc.compute(prog.check_ops(j, k), phase="check", iteration=t)
+        stats.checks += 1
+        own = st.chain[t]
+        error = prog.check(j, k, spec, actual, own)
+        if error <= prog.threshold:
+            stats.spec_accepted += 1
+            return
+        stats.spec_rejected += 1
+        yield from self._cascade_recompute(proc, st, k, t, spec, actual)
+
+    def _cascade_recompute(
+        self,
+        proc: VirtualProcessor,
+        st: _RankState,
+        k: int,
+        t: int,
+        spec: Block,
+        actual: Block,
+    ) -> Generator:
+        """Repair iteration ``t`` and recompute everything after it."""
+        prog = self.program
+        j = proc.rank
+        stats = self._stats[j]
+
+        # Repair iteration t itself via the (possibly incremental)
+        # application correction hook.
+        inputs = st.inputs_used[t]
+        corrected, ops = prog.correct(
+            j, st.chain[t + 1], inputs, k, spec, actual, t
+        )
+        inputs[k] = actual
+        yield from proc.compute(ops, phase="correct", iteration=t)
+        st.chain[t + 1] = corrected
+        stats.recomputes += 1
+
+        if self.cascade == "none":
+            return
+
+        # Cascade: iterations t+1 .. frontier-1 consumed the old chain.
+        for t2 in range(t + 1, st.frontier):
+            inputs2 = st.inputs_used[t2]
+            inputs2[j] = st.chain[t2]
+            for k2 in sorted(st.needed):
+                if (k2, t2) in st.spec_used:
+                    times, values = st.history_for(k2)
+                    respec = prog.speculate(j, k2, times, values, t2)
+                    yield from proc.compute(
+                        prog.speculate_ops(j, k2), phase="correct", iteration=t2
+                    )
+                    st.spec_used[(k2, t2)] = respec
+                    inputs2[k2] = respec
+                    stats.spec_made += 1
+            new_block = prog.compute(j, inputs2, t2)
+            yield from proc.compute(
+                prog.compute_ops(j), phase="correct", iteration=t2
+            )
+            st.chain[t2 + 1] = new_block
+            stats.recomputes += 1
+
+
+def run_program(
+    program: SyncIterativeProgram,
+    cluster: Cluster,
+    fw: int = 1,
+    cascade: str = "recompute",
+) -> RunResult:
+    """Convenience wrapper: build a driver and run it."""
+    return SpeculativeDriver(program, cluster, fw=fw, cascade=cascade).run()

@@ -1,0 +1,205 @@
+"""Run results, speculation statistics, and speedup helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.trace import PhaseBreakdown, PhaseTrace, merge_breakdowns
+
+
+@dataclass
+class SpecStats:
+    """Per-processor speculation counters for one run.
+
+    Attributes
+    ----------
+    spec_made:
+        Speculated blocks used as compute inputs (includes cascade
+        re-speculations).
+    spec_accepted / spec_rejected:
+        Outcomes of the error checks (``accepted + rejected == checks``).
+    checks:
+        Speculated blocks verified against the received actual value.
+    recomputes:
+        Block-iterations recomputed or corrected after a rejection
+        (cascade recomputations count once per redone iteration).
+    iterations:
+        Iterations executed by this rank.
+    tainted_sends:
+        Blocks broadcast while at least one earlier speculation was
+        still unverified (only possible with a forward window > 1).
+    messages_sent / messages_received:
+        Message counters.
+    """
+
+    rank: int = 0
+    spec_made: int = 0
+    spec_accepted: int = 0
+    spec_rejected: int = 0
+    checks: int = 0
+    recomputes: int = 0
+    iterations: int = 0
+    tainted_sends: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of checked speculations rejected (0 if none checked)."""
+        return self.spec_rejected / self.checks if self.checks else 0.0
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one simulated run.
+
+    Attributes
+    ----------
+    makespan:
+        Virtual time from start to the last processor finishing.
+    final_blocks:
+        Mapping rank → final block (X_j at the last iteration).
+    traces:
+        Per-rank :class:`~repro.trace.PhaseTrace`.
+    stats:
+        Per-rank :class:`SpecStats`.
+    fw:
+        Forward window the run used (0 = no speculation).
+    iterations:
+        Iterations executed.
+    capacities:
+        Processor capacities M_i of the cluster that ran.
+    """
+
+    makespan: float
+    final_blocks: dict[int, Any]
+    traces: list[PhaseTrace]
+    stats: list[SpecStats]
+    fw: int
+    iterations: int
+    capacities: list[float] = field(default_factory=list)
+
+    @property
+    def nprocs(self) -> int:
+        """Number of processors in the run."""
+        return len(self.traces)
+
+    @property
+    def time_per_iteration(self) -> float:
+        """Average virtual time per iteration (the model's t_total)."""
+        return self.makespan / self.iterations
+
+    def breakdown(self, how: str = "max") -> PhaseBreakdown:
+        """Cluster-level phase breakdown (see :func:`merge_breakdowns`)."""
+        return merge_breakdowns([t.breakdown() for t in self.traces], how=how)
+
+    def per_iteration_breakdown(self, how: str = "max") -> PhaseBreakdown:
+        """Phase breakdown normalised per iteration (Table-2 shape)."""
+        return self.breakdown(how=how).scaled(1.0 / self.iterations)
+
+    def steady_breakdown(self, how: str = "max", skip: int = 1) -> PhaseBreakdown:
+        """Per-iteration breakdown excluding the first ``skip`` warm-up
+        iterations.
+
+        Iteration 0 never communicates (X(0) is known everywhere from
+        the initial read), so whole-run averages understate the
+        steady-state communication time by a factor (T−1)/T; this view
+        matches the paper's per-iteration Table 2 numbers.
+        """
+        if not 0 <= skip < self.iterations:
+            raise ValueError("skip must be in [0, iterations)")
+        span = self.iterations - skip
+        breakdowns = []
+        for trace in self.traces:
+            sub = type(trace)(trace.rank)
+            sub.intervals = [
+                iv
+                for iv in trace.intervals
+                if iv.iteration is None or iv.iteration >= skip
+            ]
+            breakdowns.append(sub.breakdown())
+        return merge_breakdowns(breakdowns, how=how).scaled(1.0 / span)
+
+    @property
+    def recompute_fraction(self) -> float:
+        """Corrections per checked speculation (cascades included).
+
+        ``Σ recomputes / Σ checks``: 0 when every speculation was
+        accepted; can exceed the rejection rate when forward-window
+        cascades redo several iterations per rejection.
+        """
+        checks = sum(s.checks for s in self.stats)
+        if checks == 0:
+            return 0.0
+        return sum(s.recomputes for s in self.stats) / checks
+
+    def measured_k(self, skip: int = 1) -> float:
+        """The model's k, measured: correction time over compute time.
+
+        Eq. 8's penalty term is ``k · N_i · f_comp / M_i`` — i.e. k is
+        the recomputation cost as a fraction of a full compute phase —
+        so the measured analogue is the steady-state ratio of the
+        ``correct`` phase to the ``compute`` phase.
+        """
+        b = self.steady_breakdown(skip=skip) if self.iterations > skip else self.breakdown()
+        comp = b["compute"]
+        if comp == 0:
+            return 0.0
+        return b["correct"] / comp
+
+    @property
+    def rejection_rate(self) -> float:
+        """Cluster-wide fraction of checked speculations rejected."""
+        checks = sum(s.checks for s in self.stats)
+        if checks == 0:
+            return 0.0
+        return sum(s.spec_rejected for s in self.stats) / checks
+
+    def summary(self) -> dict:
+        """Plain-data summary (JSON-serialisable) of the run.
+
+        Contains the headline timings, the steady per-iteration phase
+        breakdown, and aggregated speculation statistics — everything a
+        results pipeline typically wants, none of the block payloads.
+        """
+        steady = (
+            self.steady_breakdown() if self.iterations > 1 else self.per_iteration_breakdown()
+        )
+        return {
+            "nprocs": self.nprocs,
+            "fw": self.fw,
+            "iterations": self.iterations,
+            "makespan": self.makespan,
+            "time_per_iteration": self.time_per_iteration,
+            "steady_phase_seconds": {k: v for k, v in steady.totals.items()},
+            "rejection_rate": self.rejection_rate,
+            "recompute_fraction": self.recompute_fraction,
+            "measured_k": self.measured_k() if self.iterations > 1 else 0.0,
+            "tainted_sends": sum(s.tainted_sends for s in self.stats),
+            "messages_sent": sum(s.messages_sent for s in self.stats),
+            "capacities": list(self.capacities),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<RunResult p={self.nprocs} FW={self.fw} makespan={self.makespan:.6g} "
+            f"k={self.recompute_fraction:.3%}>"
+        )
+
+
+def speedup(serial_time: float, parallel_time: float) -> float:
+    """The paper's speedup: execution time on P1 over time on {P1..Pp}."""
+    if serial_time <= 0 or parallel_time <= 0:
+        raise ValueError("times must be positive")
+    return serial_time / parallel_time
+
+
+def speedup_max(capacities: Sequence[float]) -> float:
+    """Maximum attainable speedup: Σ M_i / M_1 (capacities fastest-first)."""
+    caps = list(capacities)
+    if not caps:
+        raise ValueError("need at least one capacity")
+    if any(c <= 0 for c in caps):
+        raise ValueError("capacities must be positive")
+    return sum(caps) / caps[0]

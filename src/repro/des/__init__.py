@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, simpy-flavoured event engine.  Simulated
+entities are ordinary Python generator functions ("processes") that
+``yield`` :class:`~repro.des.events.Event` objects to wait on; the
+:class:`~repro.des.environment.Environment` owns the virtual clock and
+the event calendar.
+
+The kernel is intentionally minimal — just what the virtual-machine
+substrate (:mod:`repro.vm`) needs to express the speculative protocol
+of the paper as straight-line per-processor code:
+
+* :class:`Environment` — clock + event calendar, ``run``/``step``.
+* :class:`Event` — one-shot occurrence carrying a value or an error.
+* :class:`Timeout` — event that fires after a virtual delay.
+* :class:`Process` — generator wrapper; itself an event that fires when
+  the generator returns.
+* :class:`AnyOf` / :class:`AllOf` — condition events.
+* :class:`Store` — unbounded FIFO with blocking ``get`` and
+  non-blocking inspection (the message-queue primitive).
+
+Determinism: simultaneous events are ordered by (time, priority,
+sequence number); no wall-clock or unseeded randomness is consulted
+anywhere in the kernel.
+"""
+
+from repro.des.environment import Environment
+from repro.des.errors import Interrupt, SimulationError
+from repro.des.events import AllOf, AnyOf, Event, Process, Timeout
+from repro.des.resources import PriorityStore, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

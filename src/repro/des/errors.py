@@ -1,0 +1,47 @@
+"""Exception types used by the discrete-event kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself.
+
+    Application-level exceptions raised inside a process generator are
+    *not* wrapped in this type; they propagate through the process
+    event so callers see the original exception.
+    """
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception that ends :meth:`Environment.run`.
+
+    Raised when the ``until`` event of a ``run`` call has been
+    processed.  Not a :class:`SimulationError` because it is never
+    visible to user code.
+    """
+
+    def __init__(self, value: Any) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue; ``cause`` is
+    whatever object the interrupter supplied (e.g. a reason string).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]

@@ -1,0 +1,350 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence.  It moves through three
+states:
+
+``pending``
+    created, not yet scheduled; processes may add callbacks / wait.
+``triggered``
+    given a value (or an exception) and placed on the event calendar.
+``processed``
+    popped from the calendar; its callbacks have run.
+
+:class:`Process` doubles as an event: it triggers when its generator
+returns (value = the generator's return value) or raises (the event
+fails with that exception).
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+from repro.des.errors import Interrupt, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.des.environment import Environment
+
+# Sentinel distinguishing "no value yet" from a legitimate None value.
+_PENDING = object()
+
+Callback = Callable[["Event"], None]
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    Parameters
+    ----------
+    env:
+        The owning :class:`~repro.des.environment.Environment`.
+
+    Notes
+    -----
+    Events support ``succeed(value)`` and ``fail(exception)``; both may
+    be called at most once.  Waiting is expressed by a process
+    ``yield``-ing the event.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callback] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: Set True once a failed event's exception has been delivered
+        #: to at least one waiter (used to diagnose unhandled failures).
+        self.defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value/exception and is scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None  # type: ignore[return-value]
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = 1) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        Returns ``self`` so triggering can be chained/returned.
+        """
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = 1) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        Waiting processes will have the exception thrown into them.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of ``event`` onto this event (callback helper)."""
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            event.defused = True
+            self.fail(event.value)
+
+    # -- misc ---------------------------------------------------------------
+    def add_callback(self, callback: Callback) -> None:
+        """Run ``callback(self)`` when the event is processed."""
+        if self.callbacks is None:
+            raise SimulationError(f"{self!r} already processed")
+        self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # Allow `yield evt & other` / `yield evt | other` sugar.
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """Event that triggers ``delay`` units of virtual time after creation.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    delay:
+        Non-negative virtual-time delay.
+    value:
+        Value delivered when the timeout fires (default ``None``).
+    """
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        """The delay this timeout was created with."""
+        return self._delay
+
+
+class Initialize(Event):
+    """Internal event that kicks off a new :class:`Process` at time now."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=0)
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    The generator yields :class:`Event` objects; the process is resumed
+    with the event's value (or the event's exception thrown in).  The
+    process *is itself an event* that triggers when the generator
+    finishes, so processes can wait on each other::
+
+        def child(env):
+            yield env.timeout(5)
+            return 42
+
+        def parent(env):
+            result = yield env.process(child(env))
+            assert result == 42
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str | None = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when
+        #: finished or about to be resumed).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently suspended on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current target (the target
+        event itself is unaffected and may still trigger later).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has terminated; cannot interrupt")
+        if self._target is None:
+            raise SimulationError(f"{self.name} is being initialised; cannot interrupt")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        # Detach from current target so the stale wakeup is ignored.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        event.callbacks.append(self._resume)
+        self.env.schedule(event, priority=0)
+
+    # -- internal -----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event.defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._target = None
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_event!r}"
+            )
+        if next_event.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            immediate = Event(self.env)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            immediate.defused = True
+            immediate.callbacks.append(self._resume)
+            self._target = immediate
+            self.env.schedule(immediate, priority=0)
+        else:
+            self._target = next_event
+            next_event.add_callback(self._resume)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Condition(Event):
+    """Base for composite events over a set of sub-events.
+
+    Triggers when ``evaluate(events, n_done)`` returns True, or fails as
+    soon as any sub-event fails.  The condition's value is a dict
+    mapping each *triggered* sub-event to its value (insertion order =
+    trigger order).
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._done = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("condition spans multiple environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.add_callback(self._check)
+
+    @staticmethod
+    def evaluate(events: list[Event], done: int) -> bool:  # pragma: no cover
+        """Return True when the condition is satisfied (subclass hook)."""
+        raise NotImplementedError
+
+    def _collect_values(self) -> dict[Event, Any]:
+        # Only events that have actually *occurred* (been processed)
+        # belong in the result; a Timeout is "triggered" from birth but
+        # has not happened until the calendar reaches it.
+        return {
+            e: e._value
+            for e in self._events
+            if e.callbacks is None and e.triggered and e._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defused = True
+            return
+        self._done += 1
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        elif self.evaluate(self._events, self._done):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Condition that triggers once *all* sub-events have triggered."""
+
+    @staticmethod
+    def evaluate(events: list[Event], done: int) -> bool:
+        return done == len(events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers once *any* sub-event has triggered."""
+
+    @staticmethod
+    def evaluate(events: list[Event], done: int) -> bool:
+        return done >= 1

@@ -1,0 +1,260 @@
+"""Blocking containers and resources for the discrete-event kernel.
+
+:class:`Store` is the workhorse here: the virtual-machine message
+queues (:mod:`repro.vm`) are Stores, with ``probe``-style inspection of
+:attr:`Store.items` for the non-blocking arrival check in the
+speculative protocol (Fig. 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.des.errors import SimulationError
+from repro.des.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; triggers when the item is stored."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; triggers with the retrieved item."""
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_queue.append(self)
+        store._trigger()
+
+    def cancel(self) -> None:
+        """Withdraw this get request if it has not yet been satisfied."""
+        if not self.triggered:
+            self._cancelled = True
+
+
+class Store:
+    """FIFO container with blocking ``get`` and (optionally) bounded ``put``.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum number of stored items; ``inf`` (default) = unbounded.
+
+    Notes
+    -----
+    * ``get(filter=...)`` retrieves the first item satisfying the
+      predicate (a *filter store*), used to receive a message from a
+      specific sender.
+    * :attr:`items` may be inspected (but not mutated) for non-blocking
+      "has a message arrived?" probes.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._put_queue: deque[StorePut] = deque()
+        self._get_queue: deque[StoreGet] = deque()
+
+    def put(self, item: Any) -> StorePut:
+        """Request to add ``item``; returns an event (immediate if space)."""
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Request to remove an item; returns an event carrying the item.
+
+        With ``filter``, the first queued item satisfying the predicate
+        is returned (order among matching items preserved).
+        """
+        return StoreGet(self, filter)
+
+    def peek(self, filter: Optional[Callable[[Any], bool]] = None) -> Optional[Any]:
+        """Return (without removing) the first matching item, or None."""
+        if filter is None:
+            return self.items[0] if self.items else None
+        for item in self.items:
+            if filter(item):
+                return item
+        return None
+
+    def count(self, filter: Optional[Callable[[Any], bool]] = None) -> int:
+        """Number of stored items (matching ``filter`` if given)."""
+        if filter is None:
+            return len(self.items)
+        return sum(1 for item in self.items if filter(item))
+
+    # -- internal ---------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if getattr(event, "_cancelled", False):
+            return True  # drop silently
+        if event.filter is None:
+            if self.items:
+                event.succeed(self.items.popleft())
+                return True
+            return False
+        for i, item in enumerate(self.items):
+            if event.filter(item):
+                del self.items[i]
+                event.succeed(item)
+                return True
+        return False
+
+    def _trigger(self) -> None:
+        """Match queued puts and gets until no further progress is possible."""
+        progress = True
+        while progress:
+            progress = False
+            while self._put_queue:
+                if self._do_put(self._put_queue[0]):
+                    self._put_queue.popleft()
+                    progress = True
+                else:
+                    break
+            # A filter get deeper in the queue may match even if the
+            # head does not, so scan the whole get queue.
+            remaining: deque[StoreGet] = deque()
+            while self._get_queue:
+                event = self._get_queue.popleft()
+                if event.triggered or getattr(event, "_cancelled", False):
+                    progress = True
+                    continue
+                if self._do_get(event):
+                    progress = True
+                else:
+                    remaining.append(event)
+            self._get_queue = remaining
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return f"<Store items={len(self.items)} capacity={self.capacity}>"
+
+
+class PriorityStore(Store):
+    """Store retrieving items smallest-first (heap order).
+
+    Items must be comparable, or wrapped with an explicit ``(priority,
+    payload)`` tuple.  Insertion order breaks priority ties.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._seq = count()
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, (event.item, next(self._seq), event.item))
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if getattr(event, "_cancelled", False):
+            return True
+        if event.filter is not None:
+            raise SimulationError("PriorityStore does not support filtered gets")
+        if self._heap:
+            _, _, item = heapq.heappop(self._heap)
+            event.succeed(item)
+            return True
+        return False
+
+    def peek(self, filter=None):  # noqa: D102 - see Store.peek
+        if filter is not None:
+            raise SimulationError("PriorityStore does not support filtered peeks")
+        return self._heap[0][2] if self._heap else None
+
+    def count(self, filter=None):  # noqa: D102 - see Store.count
+        if filter is not None:
+            raise SimulationError("PriorityStore does not support filtered counts")
+        return len(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class ResourceRequest(Event):
+    """Event returned by :meth:`Resource.request`; triggers on acquisition."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger()
+
+
+class Resource:
+    """Counted resource with FIFO acquisition (e.g. a shared bus).
+
+    Usage::
+
+        req = bus.request()
+        yield req
+        ... hold the resource ...
+        bus.release(req)
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[ResourceRequest] = []
+        self._queue: deque[ResourceRequest] = deque()
+
+    def request(self) -> ResourceRequest:
+        """Queue for one unit of the resource."""
+        return ResourceRequest(self)
+
+    def release(self, request: ResourceRequest) -> None:
+        """Return the unit acquired by ``request``."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SimulationError("releasing a request that does not hold the resource")
+        self._trigger()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return len(self.users)
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a unit."""
+        return len(self._queue)
+
+    def _trigger(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            request = self._queue.popleft()
+            self.users.append(request)
+            request.succeed()
+
+    def __repr__(self) -> str:
+        return f"<Resource in_use={self.in_use}/{self.capacity} queued={self.queued}>"

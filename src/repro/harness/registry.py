@@ -1,0 +1,39 @@
+"""Experiment registry: lookup by artifact id for the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    fig2_timelines,
+    fig4_forward_window,
+    fig5_model_speedup,
+    fig6_error_sensitivity,
+    fig8_nbody_speedup,
+    fig9_model_vs_measured,
+    table2_phase_times,
+    table3_threshold_sweep,
+)
+
+#: Artifact id → zero-argument experiment runner (paper defaults).
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig2": fig2_timelines,
+    "fig4": fig4_forward_window,
+    "fig5": fig5_model_speedup,
+    "fig6": fig6_error_sensitivity,
+    "fig8": fig8_nbody_speedup,
+    "table2": table2_phase_times,
+    "table3": table3_threshold_sweep,
+    "fig9": fig9_model_vs_measured,
+}
+
+
+def get_experiment(name: str) -> Callable[[], ExperimentResult]:
+    """Runner for artifact ``name`` (e.g. ``"fig8"``, ``"table2"``)."""
+    key = name.lower().replace("_", "").replace("-", "")
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[key]

@@ -1,0 +1,49 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+
+def _fmt(value: Any, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; floats are formatted with ``floatfmt``.
+    title:
+        Optional heading printed above the table.
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must match the header width")
+    cells = [[_fmt(v, floatfmt) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,108 @@
+"""Vectorized all-pairs gravitational forces.
+
+Direct O(N²) summation with Plummer softening::
+
+    a_i = G · Σ_j m_j (r_j − r_i) / (|r_j − r_i|² + ε²)^{3/2}
+
+The paper counts "about 70 floating point operations" per pair force;
+:data:`PAIR_FLOPS` carries that constant into the cost model so virtual
+times match the paper's accounting even though numpy executes far
+fewer visible Python operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Operations per pair force in the paper's cost accounting.
+PAIR_FLOPS = 70.0
+
+
+def accelerations_from_sources(
+    target_pos: np.ndarray,
+    source_pos: np.ndarray,
+    source_mass: np.ndarray,
+    G: float = 1.0,
+    softening: float = 0.01,
+    exclude_self_pairs: bool = False,
+) -> np.ndarray:
+    """Acceleration on each target due to all source particles.
+
+    Parameters
+    ----------
+    target_pos:
+        (n_t, 3) target positions.
+    source_pos:
+        (n_s, 3) source positions.
+    source_mass:
+        (n_s,) source masses.
+    G:
+        Gravitational constant.
+    softening:
+        Plummer softening length ε (> 0 keeps close encounters finite).
+    exclude_self_pairs:
+        Set True when targets and sources are the *same* particles (in
+        the same order): zero-distance pairs are excluded from the sum.
+
+    Returns
+    -------
+    (n_t, 3) accelerations.
+    """
+    tp = np.asarray(target_pos, dtype=float)
+    sp = np.asarray(source_pos, dtype=float)
+    sm = np.asarray(source_mass, dtype=float)
+    if tp.ndim != 2 or tp.shape[1] != 3:
+        raise ValueError(f"target_pos must be (n, 3), got {tp.shape}")
+    if sp.ndim != 2 or sp.shape[1] != 3:
+        raise ValueError(f"source_pos must be (n, 3), got {sp.shape}")
+    if sm.shape != (sp.shape[0],):
+        raise ValueError("source_mass must match source_pos length")
+    if softening < 0:
+        raise ValueError("softening must be >= 0")
+    if exclude_self_pairs and tp.shape != sp.shape:
+        raise ValueError("exclude_self_pairs requires identical target/source shapes")
+    if tp.size == 0 or sp.size == 0:
+        return np.zeros_like(tp)
+
+    # delta[i, j] = r_j - r_i  -> shape (n_t, n_s, 3)
+    delta = sp[None, :, :] - tp[:, None, :]
+    dist2 = np.einsum("ijk,ijk->ij", delta, delta) + softening**2
+    # With zero softening the self-pair distance is exactly zero; the
+    # resulting inf is discarded when the diagonal is cleared below.
+    with np.errstate(divide="ignore"):
+        inv_d3 = dist2 ** (-1.5)
+    if exclude_self_pairs:
+        np.fill_diagonal(inv_d3, 0.0)
+    # a_i = G sum_j m_j delta_ij / d^3
+    return G * np.einsum("ij,j,ijk->ik", inv_d3, sm, delta)
+
+
+def accelerations(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    G: float = 1.0,
+    softening: float = 0.01,
+) -> np.ndarray:
+    """Self-consistent accelerations of a whole system (N×N pairs)."""
+    return accelerations_from_sources(
+        pos, pos, mass, G=G, softening=softening, exclude_self_pairs=True
+    )
+
+
+def potential_energy(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    G: float = 1.0,
+    softening: float = 0.01,
+) -> float:
+    """Total softened gravitational potential energy (each pair once)."""
+    p = np.asarray(pos, dtype=float)
+    m = np.asarray(mass, dtype=float)
+    if p.shape[0] < 2:
+        return 0.0
+    delta = p[None, :, :] - p[:, None, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", delta, delta) + softening**2)
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / dist
+    np.fill_diagonal(inv, 0.0)
+    return float(-0.5 * G * np.einsum("i,j,ij->", m, m, inv))

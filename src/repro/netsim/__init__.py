@@ -1,0 +1,47 @@
+"""Network models for the simulated cluster.
+
+This package substitutes the paper's physical substrate — a shared
+10 Mb/s Ethernet connecting up to 16 SUN/Sparc workstations — with
+composable delay models:
+
+* :mod:`repro.netsim.latency` — per-message latency models: constant,
+  size-linear, processor-count-scaled, stochastic (log-normal jitter),
+  transient spikes (the Fig. 4 scenario), and composition.
+* :mod:`repro.netsim.bus` — a shared-medium bus with FIFO contention
+  and optional background traffic, reproducing the contention-driven
+  growth of t_comm with p that the paper observes beyond 8 processors.
+* :mod:`repro.netsim.network` — the transport interface used by the
+  virtual machine: ``transmit(src, dst, nbytes)`` returning a delivery
+  event.
+"""
+
+from repro.netsim.bus import BackgroundTraffic, BurstyTraffic, SharedBus
+from repro.netsim.latency import (
+    CompositeLatency,
+    ConstantLatency,
+    LatencyModel,
+    LinearLatency,
+    PerProcessorScaledLatency,
+    StochasticLatency,
+    TransientSpikes,
+    UniformLatency,
+)
+from repro.netsim.network import BusNetwork, DelayNetwork, Network, SwitchedNetwork
+
+__all__ = [
+    "BackgroundTraffic",
+    "BurstyTraffic",
+    "BusNetwork",
+    "CompositeLatency",
+    "ConstantLatency",
+    "DelayNetwork",
+    "LatencyModel",
+    "LinearLatency",
+    "Network",
+    "PerProcessorScaledLatency",
+    "SharedBus",
+    "StochasticLatency",
+    "SwitchedNetwork",
+    "TransientSpikes",
+    "UniformLatency",
+]

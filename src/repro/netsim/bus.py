@@ -1,0 +1,206 @@
+"""Shared-medium bus with contention.
+
+Models the paper's shared Ethernet: only one frame is on the wire at a
+time, so all-to-all exchanges serialize and the effective per-processor
+communication time grows with p.  The paper attributes the performance
+roll-off beyond ~8–10 processors to exactly this contention ("network
+contention (not accounted for in the model) causes additional
+communication delay").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.des import Environment, Event, Resource
+
+
+class SharedBus:
+    """A single shared transmission medium (Ethernet-like).
+
+    Transfers acquire the bus FIFO, hold it for
+    ``frame_overhead + nbytes / bandwidth`` seconds, then release.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    bandwidth:
+        Bytes per virtual second on the wire.
+    frame_overhead:
+        Fixed per-transfer bus occupancy (preamble, inter-frame gap,
+        MAC arbitration), in seconds.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        frame_overhead: float = 0.0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if frame_overhead < 0:
+            raise ValueError("frame_overhead must be >= 0")
+        self.env = env
+        self.bandwidth = bandwidth
+        self.frame_overhead = frame_overhead
+        self._medium = Resource(env, capacity=1)
+        #: Total bytes ever accepted for transfer (for utilisation stats).
+        self.bytes_transferred = 0
+        #: Total seconds the medium has been held.
+        self.busy_time = 0.0
+
+    def occupancy(self, nbytes: int) -> float:
+        """Seconds the medium is held for an ``nbytes`` transfer."""
+        return self.frame_overhead + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int) -> Event:
+        """Start a transfer; returns an event firing at completion."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return self.env.process(self._transfer(nbytes), name="bus-transfer")
+
+    def _transfer(self, nbytes: int) -> Generator:
+        request = self._medium.request()
+        yield request
+        hold = self.occupancy(nbytes)
+        start = self.env.now
+        try:
+            yield self.env.timeout(hold)
+        finally:
+            self._medium.release(request)
+            self.busy_time += self.env.now - start
+            self.bytes_transferred += nbytes
+
+    @property
+    def queued(self) -> int:
+        """Transfers currently waiting for the medium."""
+        return self._medium.queued
+
+    def utilisation(self) -> float:
+        """Fraction of elapsed virtual time the medium has been busy."""
+        if self.env.now == 0:
+            return 0.0
+        return self.busy_time / self.env.now
+
+    def __repr__(self) -> str:
+        return (
+            f"<SharedBus bw={self.bandwidth:.3g} B/s "
+            f"overhead={self.frame_overhead:.3g}s queued={self.queued}>"
+        )
+
+
+@dataclass
+class BackgroundTraffic:
+    """Poisson background load injected onto a :class:`SharedBus`.
+
+    Emulates other hosts sharing the department Ethernet: frames of
+    ``frame_bytes`` arrive with exponential inter-arrival times of mean
+    ``1 / rate`` and occupy the bus like any other transfer.
+
+    Parameters
+    ----------
+    rate:
+        Mean frames per virtual second.
+    frame_bytes:
+        Size of each background frame.
+    seed:
+        RNG seed (deterministic inter-arrival sequence).
+    """
+
+    rate: float
+    frame_bytes: int = 1500
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be >= 0")
+        if self.frame_bytes < 0:
+            raise ValueError("frame_bytes must be >= 0")
+
+    def attach(self, bus: SharedBus, until: Optional[float] = None) -> None:
+        """Start generating traffic on ``bus`` (until time ``until``)."""
+        if self.rate == 0:
+            return
+        bus.env.process(self._generate(bus, until), name="background-traffic")
+
+    def _generate(self, bus: SharedBus, until: Optional[float]) -> Generator:
+        rng = np.random.default_rng(self.seed)
+        env = bus.env
+        while until is None or env.now < until:
+            gap = float(rng.exponential(1.0 / self.rate))
+            yield env.timeout(gap)
+            if until is not None and env.now >= until:
+                return
+            # Fire-and-forget: the frame occupies the bus; nobody waits
+            # on its completion event.
+            bus.transfer(self.frame_bytes)
+
+
+@dataclass
+class BurstyTraffic:
+    """Markov-modulated background load: quiet baseline + saturating bursts.
+
+    Models the paper's environment of "messages may occasionally
+    experience excessive delays due to network traffic": most of the
+    time the Ethernet carries light traffic, but during bursts (another
+    user's bulk transfer) it nearly saturates for several seconds —
+    exactly the transient the forward window is designed to absorb
+    (Fig. 4).
+
+    Parameters
+    ----------
+    base_rate / burst_rate:
+        Frames per second outside / inside a burst.
+    mean_off / mean_on:
+        Mean duration (exponential) of quiet and burst periods.
+    frame_bytes:
+        Size of each background frame.
+    seed:
+        RNG seed.
+    """
+
+    base_rate: float = 10.0
+    burst_rate: float = 100.0
+    mean_off: float = 30.0
+    mean_on: float = 8.0
+    frame_bytes: int = 1500
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.base_rate, self.burst_rate) < 0:
+            raise ValueError("rates must be >= 0")
+        if min(self.mean_off, self.mean_on) <= 0:
+            raise ValueError("mean_off and mean_on must be positive")
+        if self.frame_bytes < 0:
+            raise ValueError("frame_bytes must be >= 0")
+
+    def attach(self, bus: SharedBus, until: Optional[float] = None) -> None:
+        """Start the modulated generator on ``bus``."""
+        if self.base_rate == 0 and self.burst_rate == 0:
+            return
+        bus.env.process(self._generate(bus, until), name="bursty-traffic")
+
+    def _generate(self, bus: SharedBus, until: Optional[float]) -> Generator:
+        rng = np.random.default_rng(self.seed)
+        env = bus.env
+        in_burst = False
+        phase_end = env.now + float(rng.exponential(self.mean_off))
+        while until is None or env.now < until:
+            if env.now >= phase_end:
+                in_burst = not in_burst
+                mean = self.mean_on if in_burst else self.mean_off
+                phase_end = env.now + float(rng.exponential(mean))
+            rate = self.burst_rate if in_burst else self.base_rate
+            if rate <= 0:
+                yield env.timeout(min(1.0, max(phase_end - env.now, 1e-9)))
+                continue
+            gap = float(rng.exponential(1.0 / rate))
+            yield env.timeout(gap)
+            if until is not None and env.now >= until:
+                return
+            bus.transfer(self.frame_bytes)

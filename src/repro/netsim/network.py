@@ -1,0 +1,166 @@
+"""Transport abstraction used by the virtual machine.
+
+A :class:`Network` turns ``transmit(src, dst, nbytes)`` into an event
+that fires when the last byte arrives at the destination.  Two
+implementations:
+
+* :class:`DelayNetwork` — pure latency, unlimited parallelism (every
+  message travels independently).  Matches the performance model's
+  assumption of a constant, contention-free t_comm.
+* :class:`BusNetwork` — latency plus a :class:`~repro.netsim.bus.SharedBus`
+  that serializes transfers, so all-to-all exchanges contend exactly as
+  on the paper's Ethernet.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generator, Optional
+
+from repro.des import Environment, Event
+from repro.netsim.bus import SharedBus
+from repro.netsim.latency import ConstantLatency, LatencyModel
+
+
+class Network(ABC):
+    """Abstract message transport over a simulated interconnect."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        #: Count of messages ever transmitted.
+        self.messages_sent = 0
+        #: Total payload bytes ever transmitted.
+        self.bytes_sent = 0
+
+    @abstractmethod
+    def transmit(self, src: int, dst: int, nbytes: int) -> Event:
+        """Send ``nbytes`` from ``src`` to ``dst``; event fires on delivery."""
+
+    def _account(self, nbytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+
+
+class DelayNetwork(Network):
+    """Contention-free transport: delivery after ``latency.delay(...)``.
+
+    Messages on the same path never queue behind each other; ordering
+    between two messages on one path is still preserved (FIFO channel
+    semantics) by never letting a later message overtake an earlier
+    one — delivery time is clamped to be monotone per (src, dst) pair,
+    as TCP/PVM streams guarantee.
+    """
+
+    def __init__(self, env: Environment, latency: Optional[LatencyModel] = None) -> None:
+        super().__init__(env)
+        self.latency = latency if latency is not None else ConstantLatency(0.0)
+        self._last_delivery: dict[tuple[int, int], float] = {}
+
+    def transmit(self, src: int, dst: int, nbytes: int) -> Event:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self._account(nbytes)
+        delay = self.latency.delay(src, dst, nbytes, self.env.now)
+        arrival = self.env.now + delay
+        key = (src, dst)
+        # FIFO per channel: a message never arrives before its
+        # predecessor on the same channel.
+        arrival = max(arrival, self._last_delivery.get(key, 0.0))
+        self._last_delivery[key] = arrival
+        return self.env.timeout(arrival - self.env.now, value=(src, dst, nbytes))
+
+
+class SwitchedNetwork(Network):
+    """Full-duplex switched transport: contention only per endpoint.
+
+    Models a (then-futuristic, now standard) switched LAN: each
+    processor has a dedicated full-duplex link to the switch, so
+    transfers contend only for the sender's egress and the receiver's
+    ingress — never for a shared medium.  Contrast with
+    :class:`BusNetwork` to quantify how much of the paper's large-p
+    degradation is pure Ethernet contention.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nprocs: int,
+        bandwidth: float,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        super().__init__(env)
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.nprocs = nprocs
+        self.bandwidth = bandwidth
+        self.latency = latency if latency is not None else ConstantLatency(0.0)
+        from repro.des import Resource
+
+        self._egress = [Resource(env, capacity=1) for _ in range(nprocs)]
+        self._ingress = [Resource(env, capacity=1) for _ in range(nprocs)]
+
+    def transmit(self, src: int, dst: int, nbytes: int) -> Event:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if not (0 <= src < self.nprocs and 0 <= dst < self.nprocs):
+            raise ValueError("invalid endpoint rank")
+        self._account(nbytes)
+        return self.env.process(
+            self._deliver(src, dst, nbytes), name=f"sw-xmit-{src}-{dst}"
+        )
+
+    def _deliver(self, src: int, dst: int, nbytes: int) -> Generator:
+        endpoint = self.latency.delay(src, dst, nbytes, self.env.now)
+        if endpoint > 0:
+            yield self.env.timeout(endpoint)
+        wire = nbytes / self.bandwidth
+        # Hold sender egress, then receiver ingress (store-and-forward).
+        egress = self._egress[src].request()
+        yield egress
+        try:
+            yield self.env.timeout(wire)
+        finally:
+            self._egress[src].release(egress)
+        ingress = self._ingress[dst].request()
+        yield ingress
+        try:
+            yield self.env.timeout(wire)
+        finally:
+            self._ingress[dst].release(ingress)
+        return (src, dst, nbytes)
+
+
+class BusNetwork(Network):
+    """Shared-bus transport: endpoint latency + serialized wire time.
+
+    A message first pays an endpoint ``latency`` (protocol-stack
+    processing, which *can* overlap across processors), then occupies
+    the shared bus for its wire time (which cannot).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bus: SharedBus,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        super().__init__(env)
+        self.bus = bus
+        self.latency = latency if latency is not None else ConstantLatency(0.0)
+
+    def transmit(self, src: int, dst: int, nbytes: int) -> Event:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self._account(nbytes)
+        return self.env.process(
+            self._deliver(src, dst, nbytes), name=f"xmit-{src}-{dst}"
+        )
+
+    def _deliver(self, src: int, dst: int, nbytes: int) -> Generator:
+        endpoint = self.latency.delay(src, dst, nbytes, self.env.now)
+        if endpoint > 0:
+            yield self.env.timeout(endpoint)
+        yield self.bus.transfer(nbytes)
+        return (src, dst, nbytes)

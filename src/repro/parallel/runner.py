@@ -1,0 +1,156 @@
+"""Parent-side orchestration for the multiprocessing backend."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.program import SyncIterativeProgram
+from repro.parallel.worker import WorkerReport, worker_main
+
+
+@dataclass
+class MPRunResult:
+    """Measurements from one real-process run.
+
+    Attributes
+    ----------
+    wall_seconds:
+        Longest per-worker wall time (protocol start to finish).
+    final_blocks:
+        rank → final block.
+    reports:
+        Full per-worker reports (phase seconds, speculation counters).
+    fw:
+        Forward window used.
+    """
+
+    wall_seconds: float
+    final_blocks: dict[int, Any]
+    reports: list[WorkerReport]
+    fw: int
+
+    def phase_seconds(self, phase: str, how: str = "max") -> float:
+        """Aggregate one phase's wall time over workers."""
+        values = [r.phase_seconds.get(phase, 0.0) for r in self.reports]
+        if how == "max":
+            return max(values)
+        if how == "sum":
+            return sum(values)
+        if how == "mean":
+            return sum(values) / len(values)
+        raise ValueError(f"unknown aggregation {how!r}")
+
+    @property
+    def rejection_rate(self) -> float:
+        """Cluster-wide fraction of checked speculations rejected."""
+        checks = sum(r.spec_accepted + r.spec_rejected for r in self.reports)
+        if checks == 0:
+            return 0.0
+        return sum(r.spec_rejected for r in self.reports) / checks
+
+
+class MPRunner:
+    """Run a program on real OS processes with injected message latency.
+
+    Parameters
+    ----------
+    program:
+        The application; must be picklable (all bundled apps are).
+    fw:
+        Forward window, 0 (blocking) or 1 (speculative).
+    latency:
+        Injected one-way message delay in wall seconds (0 = pipes at
+        native speed).
+    jitter:
+        Log-normal sigma multiplying the injected latency per message.
+    seed:
+        Seed for the per-worker jitter streams.
+    start_method:
+        ``multiprocessing`` start method; ``"fork"`` (default on Linux)
+        avoids re-importing the world per worker.
+    """
+
+    def __init__(
+        self,
+        program: SyncIterativeProgram,
+        fw: int = 1,
+        latency: float = 0.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if fw not in (0, 1):
+            raise ValueError("the multiprocessing backend supports fw in {0, 1}")
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be >= 0")
+        self.program = program
+        self.fw = fw
+        self.latency = latency
+        self.jitter = jitter
+        self.seed = seed
+        self._ctx = mp.get_context(start_method) if start_method else mp.get_context()
+
+    def run(self, timeout: float = 300.0) -> MPRunResult:
+        """Execute to completion; raises on worker failure or timeout."""
+        p = self.program.nprocs
+        ctx = self._ctx
+
+        # Full mesh of duplex pipes: mesh[i][j] is i's endpoint to j.
+        mesh: dict[int, dict[int, Any]] = {i: {} for i in range(p)}
+        for i in range(p):
+            for j in range(i + 1, p):
+                a, b = ctx.Pipe(duplex=True)
+                mesh[i][j] = a
+                mesh[j][i] = b
+
+        result_conns = []
+        barrier = ctx.Barrier(p)
+        workers = []
+        for rank in range(p):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            result_conns.append(parent_conn)
+            proc = ctx.Process(
+                target=worker_main,
+                args=(
+                    rank,
+                    self.program,
+                    self.fw,
+                    mesh[rank],
+                    child_conn,
+                    self.latency,
+                    self.jitter,
+                    self.seed,
+                    barrier,
+                ),
+                daemon=True,
+            )
+            workers.append(proc)
+        for proc in workers:
+            proc.start()
+
+        reports: list[WorkerReport] = []
+        try:
+            for rank, conn in enumerate(result_conns):
+                if not conn.poll(timeout):
+                    raise TimeoutError(f"worker {rank} did not report within {timeout}s")
+                reports.append(conn.recv())
+        finally:
+            for proc in workers:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+
+        failed = [r for r in reports if r.error is not None]
+        if failed:
+            raise RuntimeError(
+                "; ".join(f"rank {r.rank}: {r.error}" for r in failed)
+            )
+        reports.sort(key=lambda r: r.rank)
+        return MPRunResult(
+            wall_seconds=max(r.wall_seconds for r in reports),
+            final_blocks={r.rank: r.final_block for r in reports},
+            reports=reports,
+            fw=self.fw,
+        )

@@ -1,0 +1,146 @@
+"""Collective operations over a cluster's virtual processors.
+
+The drivers only need point-to-point messaging (the paper's algorithms
+synchronise implicitly through their all-to-all exchanges), but
+user-written programs often want the PVM/MPI collective idioms.  These
+are implemented *on top of* the ordinary message API, so they traverse
+the simulated network and cost what real collectives would.
+
+All collectives are generators: use ``yield from`` inside a program::
+
+    def program(proc):
+        value = yield from allreduce(proc, proc.rank, op=max, tag="m")
+        yield from barrier(proc, tag="sync0")
+
+Every participating rank must call the same collective with the same
+``tag``; tags must not be reused across distinct collective calls that
+could be in flight simultaneously.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Hashable, Optional
+
+from repro.vm.processor import VirtualProcessor
+
+
+def barrier(proc: VirtualProcessor, tag: Hashable, iteration: Optional[int] = None) -> Generator:
+    """Block until every processor has entered the barrier.
+
+    Flat protocol: everyone reports to rank 0; rank 0 releases
+    everyone.  Two message rounds, like PVM's ``pvm_barrier``.
+    """
+    size = proc.cluster.size
+    if size == 1:
+        return
+    if proc.rank == 0:
+        for _ in range(size - 1):
+            yield from proc.recv(tag=("barrier-in", tag), phase="idle", iteration=iteration)
+        for dst in range(1, size):
+            proc.send(dst, None, tag=("barrier-out", tag), nbytes=8)
+    else:
+        proc.send(0, None, tag=("barrier-in", tag), nbytes=8)
+        yield from proc.recv(src=0, tag=("barrier-out", tag), phase="idle", iteration=iteration)
+
+
+def gather(
+    proc: VirtualProcessor,
+    value: Any,
+    tag: Hashable,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+    iteration: Optional[int] = None,
+) -> Generator:
+    """Collect one value per rank at ``root``.
+
+    Returns the rank-ordered list on ``root`` and None elsewhere.
+    """
+    size = proc.cluster.size
+    if proc.rank == root:
+        values: dict[int, Any] = {root: value}
+        for _ in range(size - 1):
+            msg = yield from proc.recv(tag=("gather", tag), iteration=iteration)
+            values[msg.src] = msg.payload
+        return [values[r] for r in range(size)]
+    proc.send(root, value, tag=("gather", tag), nbytes=nbytes)
+    return None
+
+
+def broadcast(
+    proc: VirtualProcessor,
+    value: Any,
+    tag: Hashable,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+    iteration: Optional[int] = None,
+) -> Generator:
+    """Send ``root``'s value to every rank; returns it everywhere."""
+    if proc.rank == root:
+        for dst in range(proc.cluster.size):
+            if dst != root:
+                proc.send(dst, value, tag=("bcast", tag), nbytes=nbytes)
+        return value
+    msg = yield from proc.recv(src=root, tag=("bcast", tag), iteration=iteration)
+    return msg.payload
+
+
+def allgather(
+    proc: VirtualProcessor,
+    value: Any,
+    tag: Hashable,
+    nbytes: Optional[int] = None,
+    iteration: Optional[int] = None,
+) -> Generator:
+    """Every rank contributes one value; every rank gets the full list.
+
+    Direct exchange (each rank sends to all others), matching the
+    paper's per-iteration all-to-all pattern.
+    """
+    size = proc.cluster.size
+    values: dict[int, Any] = {proc.rank: value}
+    for dst in range(size):
+        if dst != proc.rank:
+            proc.send(dst, value, tag=("allgather", tag), nbytes=nbytes)
+    for _ in range(size - 1):
+        msg = yield from proc.recv(tag=("allgather", tag), iteration=iteration)
+        values[msg.src] = msg.payload
+    return [values[r] for r in range(size)]
+
+
+def reduce(
+    proc: VirtualProcessor,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    tag: Hashable,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+    iteration: Optional[int] = None,
+) -> Generator:
+    """Fold one value per rank with ``op`` at ``root`` (rank order).
+
+    Returns the folded value on ``root`` and None elsewhere.
+    """
+    values = yield from gather(proc, value, tag=("reduce", tag), root=root,
+                               nbytes=nbytes, iteration=iteration)
+    if values is None:
+        return None
+    acc = values[0]
+    for v in values[1:]:
+        acc = op(acc, v)
+    return acc
+
+
+def allreduce(
+    proc: VirtualProcessor,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    tag: Hashable,
+    nbytes: Optional[int] = None,
+    iteration: Optional[int] = None,
+) -> Generator:
+    """Reduce at rank 0, then broadcast the result to everyone."""
+    folded = yield from reduce(proc, value, op, tag=("allreduce", tag),
+                               nbytes=nbytes, iteration=iteration)
+    result = yield from broadcast(proc, folded, tag=("allreduce-out", tag),
+                                  nbytes=nbytes, iteration=iteration)
+    return result

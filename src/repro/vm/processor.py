@@ -1,0 +1,185 @@
+"""The virtual processor: compute, send, receive, all phase-traced.
+
+A *program* is a generator function taking a :class:`VirtualProcessor`
+and yield-ing from its API::
+
+    def program(proc):
+        yield from proc.compute(ops=1e6, iteration=0)
+        proc.send(dst=1, payload=data, tag=("vars", 0))
+        msg = yield from proc.recv(src=1, tag=("vars", 0), iteration=0)
+
+``compute`` burns virtual cycles at the processor's capacity (scaled by
+any background load); ``send`` is asynchronous (PVM-style); ``recv``
+blocks and records the blocked span as ``comm`` time; ``try_recv`` and
+``probe`` are the non-blocking arrival checks at the heart of the
+speculative protocol (Fig. 3: "if (msg from k arrived) receive else
+speculate").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Hashable, Optional
+
+from repro.des import Event, Store
+from repro.trace import PhaseTrace
+from repro.vm.load import BackgroundLoad
+from repro.vm.message import Message, payload_nbytes
+from repro.vm.specs import ProcessorSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.cluster import Cluster
+
+
+class VirtualProcessor:
+    """One simulated processor inside a :class:`~repro.vm.cluster.Cluster`.
+
+    Not constructed directly — the cluster builds one per spec.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        rank: int,
+        spec: ProcessorSpec,
+        load: Optional[BackgroundLoad] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.rank = rank
+        self.spec = spec
+        self.load = load
+        self.mailbox: Store = Store(cluster.env)
+        self.trace = PhaseTrace(rank)
+        #: Messages sent / received counters.
+        self.sent_count = 0
+        self.recv_count = 0
+
+    # ------------------------------------------------------------- compute
+    def seconds_for(self, ops: float) -> float:
+        """Virtual seconds to execute ``ops`` operations right now."""
+        base = self.spec.seconds_for(ops)
+        if self.load is not None:
+            base *= self.load.slowdown(self.env.now)
+        return base
+
+    def compute(
+        self,
+        ops: float,
+        phase: str = "compute",
+        iteration: Optional[int] = None,
+    ) -> Generator:
+        """Burn ``ops`` operations of virtual compute time.
+
+        Use as ``yield from proc.compute(...)``.  The elapsed span is
+        recorded in the trace under ``phase`` ("compute", "spec",
+        "check" or "correct" in the speculative protocol).
+        """
+        duration = self.seconds_for(ops)
+        yield from self.advance(duration, phase=phase, iteration=iteration)
+
+    def advance(
+        self,
+        seconds: float,
+        phase: str = "compute",
+        iteration: Optional[int] = None,
+    ) -> Generator:
+        """Advance virtual time by a raw duration, tracing it as ``phase``."""
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        start = self.env.now
+        if seconds > 0:
+            yield self.env.timeout(seconds)
+        self.trace.record(phase, start, self.env.now, iteration)
+
+    # ----------------------------------------------------------- messaging
+    def send(
+        self,
+        dst: int,
+        payload: Any,
+        tag: Hashable = None,
+        nbytes: Optional[int] = None,
+    ) -> Event:
+        """Asynchronously send ``payload`` to processor ``dst``.
+
+        Returns the delivery event (usually ignored by the sender; the
+        network deposits the message in the destination mailbox when
+        the event fires).  Sending to self is allowed and goes through
+        the network like any other message.
+        """
+        if not 0 <= dst < self.cluster.size:
+            raise ValueError(f"invalid destination rank {dst}")
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        msg = Message(
+            src=self.rank,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            nbytes=size,
+            sent_at=self.env.now,
+        )
+        self.sent_count += 1
+        delivery = self.cluster.network.transmit(self.rank, dst, size)
+        mailbox = self.cluster.processors[dst].mailbox
+
+        def _deliver(event: Event) -> None:
+            msg.delivered_at = self.env.now
+            mailbox.put(msg)
+
+        delivery.add_callback(_deliver)
+        return delivery
+
+    def broadcast(
+        self,
+        payload: Any,
+        tag: Hashable = None,
+        nbytes: Optional[int] = None,
+    ) -> list[Event]:
+        """Send ``payload`` to every *other* processor (Fig. 1's
+        "send X_j(t) to all processors")."""
+        return [
+            self.send(dst, payload, tag=tag, nbytes=nbytes)
+            for dst in range(self.cluster.size)
+            if dst != self.rank
+        ]
+
+    def recv(
+        self,
+        src: Optional[int] = None,
+        tag: Hashable = None,
+        phase: str = "comm",
+        iteration: Optional[int] = None,
+    ) -> Generator:
+        """Blocking receive; returns the matching :class:`Message`.
+
+        ``src``/``tag`` of None are wildcards.  The blocked span is
+        traced as ``phase`` (default "comm" — the paper's
+        communication/waiting time).
+        """
+        start = self.env.now
+        msg: Message = yield self.mailbox.get(
+            filter=lambda m: m.matches(src, tag)
+        )
+        self.trace.record(phase, start, self.env.now, iteration)
+        self.recv_count += 1
+        return msg
+
+    def try_recv(self, src: Optional[int] = None, tag: Hashable = None) -> Optional[Message]:
+        """Non-blocking receive: matching message or None (no time passes)."""
+        matcher = lambda m: m.matches(src, tag)  # noqa: E731
+        found = self.mailbox.peek(filter=matcher)
+        if found is None:
+            return None
+        self.mailbox.items.remove(found)
+        self.recv_count += 1
+        return found
+
+    def probe(self, src: Optional[int] = None, tag: Hashable = None) -> bool:
+        """Non-blocking arrival check (Fig. 3's "if msg from k arrived")."""
+        return self.mailbox.peek(filter=lambda m: m.matches(src, tag)) is not None
+
+    def pending(self) -> int:
+        """Number of undelivered messages waiting in the mailbox."""
+        return len(self.mailbox)
+
+    def __repr__(self) -> str:
+        return f"<VirtualProcessor rank={self.rank} {self.spec.name} M={self.spec.capacity:.3g}>"

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for artifact in ("fig2", "fig5", "fig8", "table2", "table3", "fig9"):
+        assert artifact in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_light_experiment(capsys):
+    assert main(["run", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG5" in out
+    assert "speculation" in out
+
+
+def test_run_writes_output_file(tmp_path, capsys):
+    target = tmp_path / "fig6.txt"
+    assert main(["run", "fig6", "--out", str(target)]) == 0
+    assert target.exists()
+    assert "FIG6" in target.read_text()
+
+
+def test_nbody_command(capsys):
+    rc = main([
+        "nbody", "--p", "2", "--fw", "1",
+        "--particles", "100", "--iterations", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out
+    assert "rejected speculation" in out
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_run_writes_json(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "fig5.json"
+    assert main(["run", "fig5", "--json", str(target)]) == 0
+    data = json.loads(target.read_text())
+    assert data["experiment_id"] == "FIG5"
+    assert len(data["rows"]) == 16
+    assert all(isinstance(v, (int, float)) for v in data["rows"][0])

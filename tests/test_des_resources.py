@@ -1,0 +1,289 @@
+"""Unit tests for Store, PriorityStore and Resource."""
+
+import pytest
+
+from repro.des import Environment, PriorityStore, Resource, SimulationError, Store
+
+
+def run(env, gen):
+    p = env.process(gen)
+    env.run()
+    return p.value
+
+
+def test_store_put_then_get_fifo():
+    env = Environment()
+    store = Store(env)
+
+    def proc(env):
+        yield store.put("a")
+        yield store.put("b")
+        first = yield store.get()
+        second = yield store.get()
+        return (first, second)
+
+    assert run(env, proc(env)) == ("a", "b")
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env):
+        item = yield store.get()
+        return (env.now, item)
+
+    def producer(env):
+        yield env.timeout(5)
+        yield store.put("late")
+
+    c = env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert c.value == (5, "late")
+
+
+def test_store_filtered_get_skips_nonmatching():
+    env = Environment()
+    store = Store(env)
+
+    def proc(env):
+        yield store.put(("from", 1))
+        yield store.put(("from", 2))
+        got = yield store.get(filter=lambda m: m[1] == 2)
+        return got
+
+    assert run(env, proc(env)) == ("from", 2)
+    assert list(store.items) == [("from", 1)]
+
+
+def test_store_filtered_get_blocks_until_match():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env):
+        got = yield store.get(filter=lambda m: m == "wanted")
+        return (env.now, got)
+
+    def producer(env):
+        yield store.put("other")
+        yield env.timeout(3)
+        yield store.put("wanted")
+
+    c = env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert c.value == (3, "wanted")
+    assert list(store.items) == ["other"]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put(1)
+        log.append(("stored-1", env.now))
+        yield store.put(2)
+        log.append(("stored-2", env.now))
+
+    def consumer(env):
+        yield env.timeout(4)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("stored-1", 0) in log
+    assert ("stored-2", 4) in log
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_peek_and_count():
+    env = Environment()
+    store = Store(env)
+
+    def proc(env):
+        yield store.put(1)
+        yield store.put(2)
+        yield store.put(3)
+
+    env.process(proc(env))
+    env.run()
+    assert store.peek() == 1
+    assert store.peek(filter=lambda x: x > 1) == 2
+    assert store.count() == 3
+    assert store.count(filter=lambda x: x % 2 == 1) == 2
+    assert len(store) == 3
+
+
+def test_store_peek_empty_returns_none():
+    env = Environment()
+    store = Store(env)
+    assert store.peek() is None
+    assert store.peek(filter=lambda x: True) is None
+
+
+def test_store_get_cancel():
+    env = Environment()
+    store = Store(env)
+
+    def proc(env):
+        req = store.get()
+        req.cancel()
+        yield env.timeout(1)
+        yield store.put("x")
+        yield env.timeout(1)
+        return store.count()
+
+    # the cancelled get must not consume the item
+    assert run(env, proc(env)) == 1
+
+
+def test_multiple_consumers_fifo_service():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    def producer(env):
+        yield env.timeout(1)
+        for i in range(3):
+            yield store.put(i)
+
+    for tag in "abc":
+        env.process(consumer(env, tag))
+    env.process(producer(env))
+    env.run()
+    assert got == [("a", 0), ("b", 1), ("c", 2)]
+
+
+def test_priority_store_orders_items():
+    env = Environment()
+    store = PriorityStore(env)
+
+    def proc(env):
+        for x in (5, 1, 3):
+            yield store.put(x)
+        out = []
+        for _ in range(3):
+            item = yield store.get()
+            out.append(item)
+        return out
+
+    assert run(env, proc(env)) == [1, 3, 5]
+
+
+def test_priority_store_rejects_filters():
+    env = Environment()
+    store = PriorityStore(env)
+    with pytest.raises(SimulationError):
+        env.process(iter([store.get(filter=lambda x: True)]))
+        env.run()
+
+
+def test_priority_store_peek_len():
+    env = Environment()
+    store = PriorityStore(env)
+
+    def proc(env):
+        yield store.put(9)
+        yield store.put(2)
+
+    env.process(proc(env))
+    env.run()
+    assert store.peek() == 2
+    assert len(store) == 2
+    assert store.count() == 2
+
+
+def test_resource_mutual_exclusion():
+    env = Environment()
+    bus = Resource(env, capacity=1)
+    spans = []
+
+    def user(env, tag, hold):
+        req = bus.request()
+        yield req
+        start = env.now
+        yield env.timeout(hold)
+        bus.release(req)
+        spans.append((tag, start, env.now))
+
+    env.process(user(env, "a", 3))
+    env.process(user(env, "b", 2))
+    env.run()
+    # b must start exactly when a releases
+    assert spans == [("a", 0, 3), ("b", 3, 5)]
+
+
+def test_resource_capacity_two_overlaps():
+    env = Environment()
+    r = Resource(env, capacity=2)
+    starts = {}
+
+    def user(env, tag):
+        req = r.request()
+        yield req
+        starts[tag] = env.now
+        yield env.timeout(5)
+        r.release(req)
+
+    for tag in ("a", "b", "c"):
+        env.process(user(env, tag))
+    env.run()
+    assert starts["a"] == 0 and starts["b"] == 0 and starts["c"] == 5
+
+
+def test_resource_release_unheld_rejected():
+    env = Environment()
+    r = Resource(env)
+
+    def proc(env):
+        req = r.request()
+        yield req
+        r.release(req)
+        r.release(req)
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_counters():
+    env = Environment()
+    r = Resource(env, capacity=1)
+
+    def holder(env):
+        req = r.request()
+        yield req
+        yield env.timeout(10)
+        r.release(req)
+
+    def waiter(env):
+        yield env.timeout(1)
+        req = r.request()
+        yield req
+        r.release(req)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run(until=2)
+    assert r.in_use == 1
+    assert r.queued == 1

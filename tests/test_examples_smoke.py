@@ -1,0 +1,43 @@
+"""Smoke tests: the fast example scripts run end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+#: Examples fast enough for the test suite (the heavier ones are
+#: exercised by the benchmark harness paths they share code with).
+FAST_EXAMPLES = [
+    "transient_delays.py",
+    "window_tuning.py",
+    "heat_equation_masking.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_cleanly(script):
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert out.returncode == 0, out.stderr[-2000:]
+    assert out.stdout.strip()
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "nbody_cluster_collision.py",
+        "heat_equation_masking.py",
+        "transient_delays.py",
+        "real_processes.py",
+        "oscillator_sync.py",
+        "window_tuning.py",
+        "when_not_to_speculate.py",
+    } <= names

@@ -1,0 +1,59 @@
+"""The public API surface: imports, __all__, version, module entry."""
+
+import subprocess
+import sys
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_key_classes_importable_from_top_level():
+    from repro import (  # noqa: F401
+        Cluster,
+        CoupledMapLattice,
+        HeatEquation1D,
+        HeatEquation2D,
+        JacobiSolver,
+        KuramotoProgram,
+        MPRunner,
+        NBodyProgram,
+        PerformanceModel,
+        SpeculativeDriver,
+        SyncIterativeProgram,
+        WaveEquation1D,
+        run_program,
+        wustl_1994,
+    )
+
+
+def test_subpackages_importable():
+    import repro.core
+    import repro.core.adaptive
+    import repro.core.receive_driven
+    import repro.des
+    import repro.harness
+    import repro.nbody.barneshut
+    import repro.netsim
+    import repro.parallel
+    import repro.partition
+    import repro.perfmodel.extended
+    import repro.platforms
+    import repro.trace
+    import repro.vm.collectives  # noqa: F401
+
+
+def test_python_dash_m_entry():
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert out.returncode == 0
+    assert "fig8" in out.stdout

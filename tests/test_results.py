@@ -1,0 +1,126 @@
+"""Unit tests for RunResult aggregation, SpecStats and speedup helpers."""
+
+import pytest
+
+from repro.core import RunResult, SpecStats, speedup, speedup_max
+from repro.trace import PhaseTrace
+
+
+def make_result(fw=1, iterations=4):
+    t0 = PhaseTrace(rank=0)
+    t1 = PhaseTrace(rank=1)
+    # iteration 0: compute only; iterations 1..3: compute + comm
+    clock = 0.0
+    for it in range(iterations):
+        t0.record("compute", clock, clock + 2.0, iteration=it)
+        t1.record("compute", clock, clock + 2.0, iteration=it)
+        if it > 0:
+            t0.record("comm", clock + 2.0, clock + 3.0, iteration=it)
+            t1.record("correct", clock + 2.0, clock + 2.5, iteration=it)
+        clock += 3.0
+    stats = [
+        SpecStats(rank=0, spec_made=6, spec_accepted=5, spec_rejected=1, checks=6,
+                  recomputes=1, iterations=iterations),
+        SpecStats(rank=1, spec_made=6, spec_accepted=3, spec_rejected=3, checks=6,
+                  recomputes=4, iterations=iterations),
+    ]
+    return RunResult(
+        makespan=clock,
+        final_blocks={0: None, 1: None},
+        traces=[t0, t1],
+        stats=stats,
+        fw=fw,
+        iterations=iterations,
+        capacities=[2.0, 1.0],
+    )
+
+
+def test_basic_properties():
+    r = make_result()
+    assert r.nprocs == 2
+    assert r.time_per_iteration == pytest.approx(3.0)
+    assert "FW=1" in repr(r)
+
+
+def test_breakdown_max_over_ranks():
+    r = make_result()
+    b = r.breakdown()
+    assert b["compute"] == pytest.approx(8.0)
+    assert b["comm"] == pytest.approx(3.0)
+    assert b["correct"] == pytest.approx(1.5)
+
+
+def test_per_iteration_breakdown():
+    r = make_result()
+    b = r.per_iteration_breakdown()
+    assert b["compute"] == pytest.approx(2.0)
+
+
+def test_steady_breakdown_excludes_warmup():
+    r = make_result()
+    b = r.steady_breakdown(skip=1)
+    # Steady-state comm: 3 intervals of 1.0 over 3 iterations = 1.0.
+    assert b["comm"] == pytest.approx(1.0)
+    assert b["compute"] == pytest.approx(2.0)
+
+
+def test_steady_breakdown_validation():
+    r = make_result()
+    with pytest.raises(ValueError):
+        r.steady_breakdown(skip=4)
+    with pytest.raises(ValueError):
+        r.steady_breakdown(skip=-1)
+
+
+def test_rejection_and_recompute_rates():
+    r = make_result()
+    assert r.rejection_rate == pytest.approx(4 / 12)
+    assert r.recompute_fraction == pytest.approx(5 / 12)
+
+
+def test_rates_zero_when_no_checks():
+    r = make_result()
+    for s in r.stats:
+        s.checks = s.spec_rejected = s.spec_accepted = s.recomputes = 0
+    assert r.rejection_rate == 0.0
+    assert r.recompute_fraction == 0.0
+
+
+def test_measured_k_ratio():
+    r = make_result()
+    k = r.measured_k()
+    # steady correct on rank 1 = 0.5/iter, compute = 2.0/iter, max over
+    # ranks per phase: correct 0.5, compute 2.0 -> 0.25.
+    assert k == pytest.approx(0.25)
+
+
+def test_spec_stats_rejection_rate():
+    s = SpecStats(rank=0, checks=10, spec_rejected=3)
+    assert s.rejection_rate == pytest.approx(0.3)
+    assert SpecStats(rank=0).rejection_rate == 0.0
+
+
+def test_speedup_helpers():
+    assert speedup(10.0, 2.0) == 5.0
+    with pytest.raises(ValueError):
+        speedup(0.0, 1.0)
+    with pytest.raises(ValueError):
+        speedup(1.0, -1.0)
+    assert speedup_max([4.0, 2.0, 2.0]) == 2.0
+    with pytest.raises(ValueError):
+        speedup_max([])
+    with pytest.raises(ValueError):
+        speedup_max([1.0, 0.0])
+
+
+def test_summary_is_json_serialisable():
+    import json
+
+    r = make_result()
+    data = r.summary()
+    encoded = json.dumps(data)
+    assert "time_per_iteration" in encoded
+    assert data["nprocs"] == 2
+    assert data["fw"] == 1
+    assert data["steady_phase_seconds"]["compute"] == pytest.approx(2.0)
+    assert data["rejection_rate"] == pytest.approx(4 / 12)

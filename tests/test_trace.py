@@ -1,0 +1,155 @@
+"""Unit tests for phase traces, breakdowns and the ASCII Gantt."""
+
+import pytest
+
+from repro.trace import (
+    Interval,
+    PhaseBreakdown,
+    PhaseTrace,
+    merge_breakdowns,
+    render_gantt,
+)
+
+
+def make_trace():
+    t = PhaseTrace(rank=0)
+    t.record("compute", 0.0, 2.0, iteration=0)
+    t.record("comm", 2.0, 3.0, iteration=0)
+    t.record("compute", 3.0, 5.0, iteration=1)
+    t.record("check", 5.0, 5.5, iteration=1)
+    return t
+
+
+def test_interval_duration():
+    iv = Interval("compute", 1.0, 3.5)
+    assert iv.duration == 2.5
+
+
+def test_interval_rejects_negative():
+    with pytest.raises(ValueError):
+        Interval("compute", 2.0, 1.0)
+
+
+def test_trace_totals():
+    t = make_trace()
+    assert t.total("compute") == pytest.approx(4.0)
+    assert t.total("comm") == pytest.approx(1.0)
+    assert t.total("spec") == 0.0
+
+
+def test_trace_span():
+    assert make_trace().span() == pytest.approx(5.5)
+    assert PhaseTrace().span() == 0.0
+
+
+def test_trace_drops_zero_length():
+    t = PhaseTrace()
+    t.record("compute", 1.0, 1.0)
+    assert len(t) == 0
+
+
+def test_trace_rejects_negative_interval():
+    t = PhaseTrace()
+    with pytest.raises(ValueError):
+        t.record("compute", 2.0, 1.0)
+
+
+def test_trace_iterations_listing():
+    assert make_trace().iterations() == [0, 1]
+
+
+def test_trace_for_iteration():
+    sub = make_trace().for_iteration(1)
+    assert sub.total("compute") == pytest.approx(2.0)
+    assert sub.total("comm") == 0.0
+
+
+def test_breakdown_from_trace():
+    b = make_trace().breakdown()
+    assert b["compute"] == pytest.approx(4.0)
+    assert b["comm"] == pytest.approx(1.0)
+    assert b["missing-phase"] == 0.0
+    assert b.span == pytest.approx(5.5)
+
+
+def test_breakdown_busy_excludes_comm_idle():
+    b = PhaseBreakdown(totals={"compute": 3.0, "comm": 2.0, "idle": 1.0, "spec": 0.5})
+    assert b.busy == pytest.approx(3.5)
+    assert b.total == pytest.approx(6.5)
+
+
+def test_breakdown_scaled():
+    b = PhaseBreakdown(totals={"compute": 4.0}, span=8.0)
+    half = b.scaled(0.5)
+    assert half["compute"] == 2.0
+    assert half.span == 4.0
+
+
+def test_breakdown_as_row_order():
+    b = PhaseBreakdown(totals={"compute": 1.0, "comm": 2.0, "spec": 3.0, "check": 4.0})
+    row = b.as_row()
+    assert row == [1.0, 2.0, 3.0, 4.0, 10.0]
+
+
+def test_merge_breakdowns_max():
+    a = PhaseBreakdown(totals={"compute": 1.0, "comm": 5.0}, span=6.0)
+    b = PhaseBreakdown(totals={"compute": 3.0, "comm": 2.0}, span=5.0)
+    m = merge_breakdowns([a, b], how="max")
+    assert m["compute"] == 3.0
+    assert m["comm"] == 5.0
+    assert m.span == 6.0
+
+
+def test_merge_breakdowns_sum_and_mean():
+    a = PhaseBreakdown(totals={"compute": 1.0}, span=1.0)
+    b = PhaseBreakdown(totals={"compute": 3.0}, span=3.0)
+    assert merge_breakdowns([a, b], how="sum")["compute"] == 4.0
+    assert merge_breakdowns([a, b], how="mean")["compute"] == 2.0
+
+
+def test_merge_breakdowns_empty():
+    m = merge_breakdowns([])
+    assert m.total == 0.0
+
+
+def test_merge_breakdowns_bad_mode():
+    with pytest.raises(ValueError):
+        merge_breakdowns([PhaseBreakdown()], how="median")
+
+
+def test_gantt_renders_rows_and_legend():
+    t0 = make_trace()
+    t1 = PhaseTrace(rank=1)
+    t1.record("comm", 0.0, 5.5)
+    out = render_gantt([t0, t1], width=22)
+    lines = out.splitlines()
+    assert lines[0].startswith("P0  |")
+    assert lines[1].startswith("P1  |")
+    assert "C" in lines[0]  # compute glyph
+    assert "-" in lines[1]  # comm glyph
+    assert "legend" in out
+
+
+def test_gantt_dominant_phase_per_bucket():
+    t = PhaseTrace(rank=0)
+    t.record("compute", 0.0, 0.9)
+    t.record("comm", 0.9, 1.0)
+    out = render_gantt([t], width=1, legend=False)
+    # compute dominates the single bucket
+    assert "|C|" in out
+
+
+def test_gantt_empty_traces():
+    assert "no traces" in render_gantt([])
+
+
+def test_gantt_width_validation():
+    with pytest.raises(ValueError):
+        render_gantt([PhaseTrace()], width=0)
+
+
+def test_gantt_custom_glyphs():
+    t = PhaseTrace(rank=0)
+    t.record("compute", 0, 1)
+    out = render_gantt([t], width=4, glyphs={"compute": "#"}, legend=False)
+    assert "#" in out

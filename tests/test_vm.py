@@ -1,0 +1,314 @@
+"""Unit tests for the virtual machine substrate."""
+
+import pytest
+
+from repro.netsim import BusNetwork, ConstantLatency, DelayNetwork, SharedBus
+from repro.vm import (
+    Cluster,
+    ConstantSlowdown,
+    ProcessorSpec,
+    RandomWalkLoad,
+    linear_gradient_specs,
+    uniform_specs,
+)
+from repro.vm.message import Message, payload_nbytes
+from repro.vm.specs import total_capacity
+
+import numpy as np
+
+
+# ------------------------------------------------------------------- specs
+def test_spec_seconds_for():
+    s = ProcessorSpec("x", capacity=100.0)
+    assert s.seconds_for(250.0) == 2.5
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ProcessorSpec("x", capacity=0)
+    with pytest.raises(ValueError):
+        ProcessorSpec("x", capacity=100).seconds_for(-1)
+
+
+def test_linear_gradient_specs_paper_shape():
+    specs = linear_gradient_specs(p=16, fastest=120e6, ratio=10.0)
+    caps = [s.capacity for s in specs]
+    assert caps[0] == pytest.approx(120e6)
+    assert caps[-1] == pytest.approx(12e6)
+    # linear: constant differences
+    diffs = [a - b for a, b in zip(caps, caps[1:])]
+    assert all(d == pytest.approx(diffs[0]) for d in diffs)
+
+
+def test_linear_gradient_single_processor():
+    specs = linear_gradient_specs(p=1, fastest=100.0)
+    assert len(specs) == 1
+    assert specs[0].capacity == 100.0
+
+
+def test_linear_gradient_validation():
+    with pytest.raises(ValueError):
+        linear_gradient_specs(p=0)
+    with pytest.raises(ValueError):
+        linear_gradient_specs(p=4, ratio=0.5)
+
+
+def test_uniform_specs():
+    specs = uniform_specs(3, capacity=5.0)
+    assert [s.capacity for s in specs] == [5.0, 5.0, 5.0]
+    with pytest.raises(ValueError):
+        uniform_specs(0)
+
+
+def test_total_capacity():
+    specs = uniform_specs(4, capacity=2.0)
+    assert total_capacity(specs) == 8.0
+
+
+# ------------------------------------------------------------------- loads
+def test_constant_slowdown():
+    assert ConstantSlowdown(1.5).slowdown(0.0) == 1.5
+    with pytest.raises(ValueError):
+        ConstantSlowdown(0.5)
+
+
+def test_random_walk_load_bounds_and_determinism():
+    a = RandomWalkLoad(mean=0.2, step=0.1, seed=5)
+    b = RandomWalkLoad(mean=0.2, step=0.1, seed=5)
+    sa = [a.slowdown(t) for t in np.linspace(0, 100, 200)]
+    sb = [b.slowdown(t) for t in np.linspace(0, 100, 200)]
+    assert sa == sb
+    assert all(1.0 <= s <= 3.0 for s in sa)
+
+
+def test_random_walk_load_validation():
+    with pytest.raises(ValueError):
+        RandomWalkLoad(interval=0)
+    with pytest.raises(ValueError):
+        RandomWalkLoad(reversion=2.0)
+    with pytest.raises(ValueError):
+        RandomWalkLoad(mean=-0.1)
+    with pytest.raises(ValueError):
+        RandomWalkLoad().slowdown(-1.0)
+
+
+def test_random_walk_piecewise_constant_within_interval():
+    m = RandomWalkLoad(interval=10.0, seed=1)
+    assert m.slowdown(1.0) == m.slowdown(9.9)
+
+
+# ---------------------------------------------------------------- messages
+def test_payload_nbytes_numpy():
+    arr = np.zeros(10, dtype=np.float64)
+    assert payload_nbytes(arr) == 80
+
+
+def test_payload_nbytes_containers():
+    assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 16 + 24 + 16
+    assert payload_nbytes({"a": 1.0}) > 0
+    assert payload_nbytes(None) == 8
+    assert payload_nbytes(b"xyz") == 3
+
+
+def test_message_latency_and_matching():
+    m = Message(src=0, dst=1, tag="t", payload=None, nbytes=8, sent_at=1.0)
+    with pytest.raises(ValueError):
+        _ = m.latency
+    m.delivered_at = 3.0
+    assert m.latency == 2.0
+    assert m.matches()
+    assert m.matches(src=0, tag="t")
+    assert not m.matches(src=1)
+    assert not m.matches(tag="other")
+
+
+# ----------------------------------------------------------------- cluster
+def test_cluster_compute_time_scales_with_capacity():
+    cluster = Cluster([ProcessorSpec("fast", 100.0), ProcessorSpec("slow", 10.0)])
+
+    def program(proc):
+        yield from proc.compute(100.0)
+        return proc.env.now
+
+    results = cluster.run(program)
+    assert results == [pytest.approx(1.0), pytest.approx(10.0)]
+
+
+def test_cluster_background_load_slows_compute():
+    cluster = Cluster(
+        uniform_specs(1, capacity=100.0),
+        loads=[ConstantSlowdown(2.0)],
+    )
+
+    def program(proc):
+        yield from proc.compute(100.0)
+        return proc.env.now
+
+    assert cluster.run(program) == [pytest.approx(2.0)]
+
+
+def test_send_recv_roundtrip_with_latency():
+    cluster = Cluster(
+        uniform_specs(2, capacity=1e6),
+        network_factory=lambda env: DelayNetwork(env, ConstantLatency(0.5)),
+    )
+
+    def program(proc):
+        if proc.rank == 0:
+            proc.send(1, {"x": 42}, tag="data")
+            return None
+        msg = yield from proc.recv(src=0, tag="data")
+        return (proc.env.now, msg.payload["x"], msg.latency)
+
+    results = cluster.run(program)
+    assert results[1] == (0.5, 42, 0.5)
+
+
+def test_recv_traces_comm_time():
+    cluster = Cluster(
+        uniform_specs(2, capacity=1e6),
+        network_factory=lambda env: DelayNetwork(env, ConstantLatency(2.0)),
+    )
+
+    def program(proc):
+        if proc.rank == 0:
+            proc.send(1, "hi")
+        else:
+            yield from proc.recv(src=0)
+        if False:
+            yield  # make rank 0 a generator too
+
+    cluster.run(program)
+    assert cluster.processor(1).trace.total("comm") == pytest.approx(2.0)
+
+
+def test_try_recv_and_probe_nonblocking():
+    cluster = Cluster(uniform_specs(2, capacity=1e6))
+
+    def program(proc):
+        if proc.rank == 0:
+            assert proc.try_recv() is None
+            assert not proc.probe()
+            proc.send(1, "x", tag="a")
+            yield from proc.advance(1.0, phase="idle")
+        else:
+            yield from proc.advance(0.5, phase="idle")
+            assert proc.probe(src=0, tag="a")
+            assert not proc.probe(src=0, tag="b")
+            msg = proc.try_recv(src=0, tag="a")
+            assert msg is not None and msg.payload == "x"
+            assert proc.try_recv(src=0, tag="a") is None
+            return "ok"
+
+    results = cluster.run(program)
+    assert results[1] == "ok"
+
+
+def test_broadcast_reaches_all_other_ranks():
+    cluster = Cluster(uniform_specs(4, capacity=1e6))
+
+    def program(proc):
+        if proc.rank == 0:
+            events = proc.broadcast("ping", tag="b")
+            assert len(events) == 3
+            if False:
+                yield
+            return None
+        msg = yield from proc.recv(src=0, tag="b")
+        return msg.payload
+
+    results = cluster.run(program)
+    assert results[1:] == ["ping", "ping", "ping"]
+
+
+def test_selective_recv_by_tag_order_independent():
+    cluster = Cluster(uniform_specs(2, capacity=1e6))
+
+    def program(proc):
+        if proc.rank == 0:
+            proc.send(1, "first", tag=("vars", 0))
+            proc.send(1, "second", tag=("vars", 1))
+            if False:
+                yield
+            return None
+        # receive iteration 1 first even though 0 arrived earlier
+        m1 = yield from proc.recv(src=0, tag=("vars", 1))
+        m0 = yield from proc.recv(src=0, tag=("vars", 0))
+        return (m1.payload, m0.payload)
+
+    results = cluster.run(program)
+    assert results[1] == ("second", "first")
+
+
+def test_send_invalid_rank_rejected():
+    cluster = Cluster(uniform_specs(2, capacity=1e6))
+
+    def program(proc):
+        if proc.rank == 0:
+            with pytest.raises(ValueError):
+                proc.send(5, "x")
+        if False:
+            yield
+        return None
+
+    cluster.run(program)
+
+
+def test_cluster_run_until_timeout():
+    cluster = Cluster(uniform_specs(1, capacity=1.0))
+
+    def program(proc):
+        yield from proc.compute(100.0)  # needs 100s
+
+    with pytest.raises(TimeoutError):
+        cluster.run(program, until=5.0)
+
+
+def test_cluster_bus_network_integration():
+    def make_net(env):
+        return BusNetwork(env, SharedBus(env, bandwidth=100.0))
+
+    cluster = Cluster(uniform_specs(3, capacity=1e9), network_factory=make_net)
+
+    def program(proc):
+        if proc.rank == 0:
+            proc.send(1, None, nbytes=100, tag="x")  # 1s wire
+            proc.send(2, None, nbytes=100, tag="x")  # queues: arrives at 2s
+            if False:
+                yield
+            return None
+        msg = yield from proc.recv(src=0, tag="x")
+        return proc.env.now
+
+    results = cluster.run(program)
+    assert results[1] == pytest.approx(1.0)
+    assert results[2] == pytest.approx(2.0)
+
+
+def test_cluster_validation():
+    with pytest.raises(ValueError):
+        Cluster([])
+    with pytest.raises(ValueError):
+        Cluster(uniform_specs(2), loads=[None])
+
+
+def test_cluster_accessors():
+    cluster = Cluster(uniform_specs(3, capacity=7.0))
+    assert cluster.size == 3
+    assert cluster.capacities() == [7.0, 7.0, 7.0]
+    assert cluster.processor(1).rank == 1
+    assert len(cluster.traces()) == 3
+
+
+def test_advance_validation():
+    cluster = Cluster(uniform_specs(1))
+
+    def program(proc):
+        with pytest.raises(ValueError):
+            # consume generator to trigger validation
+            list(proc.advance(-1.0))
+        if False:
+            yield
+        return None
+
+    cluster.run(program)

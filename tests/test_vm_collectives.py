@@ -1,0 +1,198 @@
+"""Tests for the cluster collectives."""
+
+import operator
+
+import pytest
+
+from repro.netsim import ConstantLatency, DelayNetwork
+from repro.vm import Cluster, uniform_specs
+from repro.vm.collectives import (
+    allgather,
+    allreduce,
+    barrier,
+    broadcast,
+    gather,
+    reduce,
+)
+
+
+def make_cluster(p, latency=0.1):
+    return Cluster(
+        uniform_specs(p, capacity=1e6),
+        network_factory=lambda env: DelayNetwork(env, ConstantLatency(latency)),
+    )
+
+
+def test_barrier_synchronises_ranks():
+    cluster = make_cluster(4)
+    release_times = {}
+
+    def program(proc):
+        # Stagger arrivals: rank r arrives at t = r seconds.
+        yield from proc.advance(float(proc.rank), phase="compute")
+        yield from barrier(proc, tag="b0")
+        release_times[proc.rank] = proc.env.now
+
+    cluster.run(program)
+    # Nobody is released before the last arrival (t = 3).
+    assert min(release_times.values()) >= 3.0
+    # All releases happen within one message round of each other.
+    assert max(release_times.values()) - min(release_times.values()) < 0.5
+
+
+def test_barrier_single_rank_noop():
+    cluster = make_cluster(1)
+
+    def program(proc):
+        yield from barrier(proc, tag="b")
+        return proc.env.now
+
+    assert cluster.run(program) == [0.0]
+
+
+def test_gather_collects_in_rank_order():
+    cluster = make_cluster(3)
+
+    def program(proc):
+        out = yield from gather(proc, proc.rank * 10, tag="g")
+        return out
+
+    results = cluster.run(program)
+    assert results[0] == [0, 10, 20]
+    assert results[1] is None and results[2] is None
+
+
+def test_gather_custom_root():
+    cluster = make_cluster(3)
+
+    def program(proc):
+        out = yield from gather(proc, proc.rank, tag="g", root=2)
+        return out
+
+    results = cluster.run(program)
+    assert results[2] == [0, 1, 2]
+    assert results[0] is None
+
+
+def test_broadcast_delivers_everywhere():
+    cluster = make_cluster(4)
+
+    def program(proc):
+        value = "hello" if proc.rank == 0 else None
+        out = yield from broadcast(proc, value, tag="bc")
+        return out
+
+    assert cluster.run(program) == ["hello"] * 4
+
+
+def test_allgather_full_exchange():
+    cluster = make_cluster(4)
+
+    def program(proc):
+        out = yield from allgather(proc, proc.rank**2, tag="ag")
+        return out
+
+    results = cluster.run(program)
+    assert all(r == [0, 1, 4, 9] for r in results)
+
+
+def test_reduce_folds_in_rank_order():
+    cluster = make_cluster(4)
+
+    def program(proc):
+        out = yield from reduce(proc, proc.rank + 1, operator.mul, tag="r")
+        return out
+
+    results = cluster.run(program)
+    assert results[0] == 24  # 1*2*3*4
+    assert results[1] is None
+
+
+def test_allreduce_same_result_everywhere():
+    cluster = make_cluster(5)
+
+    def program(proc):
+        out = yield from allreduce(proc, proc.rank, operator.add, tag="ar")
+        return out
+
+    assert cluster.run(program) == [10] * 5
+
+
+def test_allreduce_with_max():
+    cluster = make_cluster(3)
+
+    def program(proc):
+        out = yield from allreduce(proc, (proc.rank * 7) % 5, max, tag="m")
+        return out
+
+    expected = max((r * 7) % 5 for r in range(3))
+    assert cluster.run(program) == [expected] * 3
+
+
+def test_concurrent_collectives_with_distinct_tags():
+    cluster = make_cluster(3)
+
+    def program(proc):
+        a = yield from allgather(proc, proc.rank, tag="first")
+        b = yield from allgather(proc, -proc.rank, tag="second")
+        return (a, b)
+
+    results = cluster.run(program)
+    assert all(a == [0, 1, 2] and b == [0, -1, -2] for a, b in results)
+
+
+def test_collectives_traverse_the_network():
+    """Collectives must pay simulated latency, not complete instantly."""
+    cluster = make_cluster(4, latency=0.5)
+
+    def program(proc):
+        yield from barrier(proc, tag="b")
+        return proc.env.now
+
+    times = cluster.run(program)
+    # Root leaves after one inbound round (0.5 s); everyone else after
+    # the outbound round too (1.0 s).
+    assert times[0] >= 0.5
+    assert all(t >= 1.0 for t in times[1:])
+
+
+# ---------------------------------------------------------- property tests
+import functools
+import operator as _op
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=st.integers(2, 5),
+    values=st.data(),
+)
+def test_property_allreduce_equals_functools_reduce(p, values):
+    vals = [values.draw(st.integers(-100, 100)) for _ in range(p)]
+    cluster = make_cluster(p, latency=0.05)
+
+    def program(proc):
+        out = yield from allreduce(proc, vals[proc.rank], _op.add, tag="prop")
+        return out
+
+    expected = functools.reduce(_op.add, vals)
+    assert cluster.run(program) == [expected] * p
+
+
+@settings(max_examples=30, deadline=None)
+@given(p=st.integers(1, 5), seed=st.integers(0, 1000))
+def test_property_allgather_is_rank_ordered_everywhere(p, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(0, 1000, size=p).tolist()
+    cluster = make_cluster(p, latency=0.02)
+
+    def program(proc):
+        out = yield from allgather(proc, vals[proc.rank], tag="pg")
+        return out
+
+    results = cluster.run(program)
+    assert all(r == vals for r in results)

@@ -1,0 +1,83 @@
+"""Toy SyncIterativeProgram implementations shared by the test suite."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core import SyncIterativeProgram
+
+
+class CoupledIncrement(SyncIterativeProgram):
+    """x_j(t+1) = x_j(t) + coupling * global_mean(t) + rate_j.
+
+    * ``coupling = 0`` makes every block's trajectory exactly linear in
+      t, so :class:`~repro.core.LinearExtrapolation` speculates it
+      perfectly once two history points exist.
+    * ``rate_j = 0`` for all j (and coupling 0) makes the state
+      constant, so even a zero-order hold is perfect from t = 0.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        iterations: int,
+        block_size: int = 4,
+        coupling: float = 0.0,
+        rates: Optional[Sequence[float]] = None,
+        ops_per_compute: float = 1000.0,
+        wall_compute: float = 0.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(nprocs, iterations, **kwargs)
+        self.block_size = block_size
+        self.coupling = coupling
+        self.rates = list(rates) if rates is not None else [float(j + 1) for j in range(nprocs)]
+        if len(self.rates) != nprocs:
+            raise ValueError("rates length must equal nprocs")
+        self.ops_per_compute = ops_per_compute
+        #: Real wall seconds to busy-burn inside compute() — used by the
+        #: multiprocessing-backend tests, where masking needs actual
+        #: CPU work to overlap with (the simulator uses virtual time).
+        self.wall_compute = wall_compute
+
+    def initial_block(self, rank: int) -> np.ndarray:
+        return np.full(self.block_size, float(rank), dtype=float)
+
+    def compute(self, rank: int, inputs: Mapping[int, np.ndarray], t: int) -> np.ndarray:
+        if self.wall_compute > 0.0:
+            import time
+
+            deadline = time.perf_counter() + self.wall_compute
+            while time.perf_counter() < deadline:
+                pass
+        mean = float(np.mean([np.mean(inputs[k]) for k in range(self.nprocs)]))
+        return inputs[rank] + self.coupling * mean + self.rates[rank]
+
+    def compute_ops(self, rank: int) -> float:
+        return self.ops_per_compute
+
+    def block_nbytes(self, rank: int) -> int:
+        return 8 * self.block_size
+
+    def reference_run(self) -> dict[int, np.ndarray]:
+        """Serial ground truth: the exact recurrence, no speculation."""
+        blocks = {j: self.initial_block(j) for j in range(self.nprocs)}
+        for t in range(self.iterations):
+            blocks = {j: self.compute(j, blocks, t) for j in range(self.nprocs)}
+        return blocks
+
+
+class RandomDrift(CoupledIncrement):
+    """Adds deterministic per-iteration pseudo-random jumps.
+
+    The jumps are a fixed function of (rank, t), so the recurrence is
+    still reproducible, but no low-order extrapolation predicts it —
+    useful for exercising the rejection/correction machinery.
+    """
+
+    def compute(self, rank, inputs, t):
+        base = super().compute(rank, inputs, t)
+        jump = np.sin(1000.0 * (rank + 1) * (t + 1)) * 5.0
+        return base + jump
