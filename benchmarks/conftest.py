@@ -14,6 +14,20 @@ import pytest
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
+def pytest_collect_file(file_path: pathlib.Path, parent):
+    """Collect ``bench_*.py`` when benchmarks/ is targeted explicitly.
+
+    ``bench_*.py`` is deliberately absent from ``python_files`` in
+    pyproject.toml so a plain ``pytest`` run never sweeps up the (slow)
+    benchmark suite by accident.  This hook restores collection for
+    explicit invocations such as ``pytest benchmarks/`` or
+    ``pytest benchmarks/bench_fig4_forward_window.py``.
+    """
+    if file_path.suffix == ".py" and file_path.name.startswith("bench_"):
+        return pytest.Module.from_parent(parent, path=file_path)
+    return None
+
+
 @pytest.fixture()
 def artifact_sink():
     """Write an experiment's rendered text to benchmarks/output/<id>.txt."""

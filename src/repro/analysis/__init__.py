@@ -1,0 +1,54 @@
+"""speclint: protocol-aware static analysis + runtime sanitizer.
+
+Two complementary halves:
+
+* :mod:`repro.analysis.rules` / :mod:`repro.analysis.linter` — an
+  AST-based static pass (rules SPL001..SPL006) that catches the
+  silent-failure classes specific to this codebase: dropped ``yield
+  from``, blocking receives in speculative paths, nondeterminism,
+  undisciplined message tags, payload aliasing, and broad excepts
+  swallowing :class:`~repro.des.errors.Interrupt`.
+* :mod:`repro.analysis.sanitizer` — a runtime
+  :class:`ProtocolSanitizer` (opt-in via ``REPRO_SANITIZE=1``) that
+  asserts DES and forward-window invariants while a simulation runs.
+
+Entry point: ``repro lint [paths] [--format json] [--sanitize-selftest]``.
+"""
+
+from repro.analysis.diagnostics import RULES, Diagnostic, Rule, Severity, all_rule_codes
+from repro.analysis.linter import (
+    collect_suppressions,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.reporters import render, render_json, render_text
+from repro.analysis.sanitizer import (
+    ENV_FLAG,
+    ProtocolSanitizer,
+    ProtocolViolation,
+    run_selftest,
+    sanitize_enabled,
+    sanitizer_from_env,
+)
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "Rule",
+    "Severity",
+    "all_rule_codes",
+    "collect_suppressions",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "render",
+    "render_json",
+    "render_text",
+    "ENV_FLAG",
+    "ProtocolSanitizer",
+    "ProtocolViolation",
+    "run_selftest",
+    "sanitize_enabled",
+    "sanitizer_from_env",
+]

@@ -1,0 +1,98 @@
+"""Diagnostic records and the speclint rule registry.
+
+Every finding produced by a speclint rule is a :class:`Diagnostic`:
+an immutable (path, line, col, code, severity, message) record that
+reporters serialise and the CLI turns into an exit code.
+
+Rules register themselves in :data:`RULES` via :func:`register_rule`
+so the linter, the docs generator, and the test-suite all enumerate
+the same canonical set.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is.  Both severities fail the lint run; the
+    distinction is informational (warnings flag heuristic rules)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One speclint finding at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    severity: Severity
+    message: str
+
+    def format_text(self) -> str:
+        """``path:line:col: CODE [severity] message`` (one line)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (see the JSON reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+#: A rule is a callable: (module AST, path, source) -> iterator of findings.
+RuleFn = Callable[[ast.Module, str, str], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered speclint rule."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    check: RuleFn = field(compare=False)
+
+
+#: Canonical rule registry, keyed by code (SPL001..SPL006).
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(
+    code: str, name: str, severity: Severity, summary: str
+) -> Callable[[RuleFn], RuleFn]:
+    """Decorator registering ``fn`` as the checker for ``code``."""
+
+    def wrap(fn: RuleFn) -> RuleFn:
+        if code in RULES:  # pragma: no cover - programming error
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(
+            code=code, name=name, severity=severity, summary=summary, check=fn
+        )
+        return fn
+
+    return wrap
+
+
+def all_rule_codes() -> list[str]:
+    """Sorted list of registered rule codes."""
+    return sorted(RULES)

@@ -1,0 +1,119 @@
+"""speclint driver: file discovery, rule execution, suppressions.
+
+Suppression syntax (checked per physical line of the diagnostic):
+
+``# speclint: disable=SPL001``
+    Suppress the listed rule(s) on this line (comma-separated,
+    ``all`` suppresses every rule).
+``# speclint: disable-file=SPL003``
+    Anywhere in the file: suppress the listed rule(s) for the whole
+    file (used e.g. by wall-clock backends that legitimately read the
+    real clock).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.diagnostics import RULES, Diagnostic, Severity
+
+# Import for the side effect of registering the rules.
+from repro.analysis import rules as _rules  # noqa: F401
+
+_LINE_DIRECTIVE = re.compile(r"#\s*speclint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_DIRECTIVE = re.compile(r"#\s*speclint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+def _parse_codes(raw: str) -> set[str]:
+    return {part.strip().upper() for part in raw.split(",") if part.strip()}
+
+
+def collect_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """(per-line, file-wide) suppressed rule codes from directives."""
+    per_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _FILE_DIRECTIVE.search(line)
+        if match:
+            file_wide |= _parse_codes(match.group(1))
+            continue
+        match = _LINE_DIRECTIVE.search(line)
+        if match:
+            per_line.setdefault(lineno, set()).update(_parse_codes(match.group(1)))
+    return per_line, file_wide
+
+
+def _suppressed(
+    diag: Diagnostic, per_line: dict[int, set[str]], file_wide: set[str]
+) -> bool:
+    codes = per_line.get(diag.line, set()) | file_wide
+    return bool(codes) and (diag.code.upper() in codes or "ALL" in codes)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Run the (optionally ``select``-ed) rules over one source text.
+
+    Unparseable files yield a single ``SPL000`` syntax-error
+    diagnostic rather than crashing the run.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="SPL000",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    per_line, file_wide = collect_suppressions(source)
+    wanted = set(code.upper() for code in select) if select is not None else None
+    found: list[Diagnostic] = []
+    for code, rule in sorted(RULES.items()):
+        if wanted is not None and code not in wanted:
+            continue
+        for diag in rule.check(tree, path, source):
+            if not _suppressed(diag, per_line, file_wide):
+                found.append(diag)
+    return sorted(found)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    seen.add(sub)
+        elif path.suffix == ".py":
+            seen.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"speclint: no such path: {path}")
+    return sorted(seen)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Lint every ``.py`` file under ``paths``; returns all findings."""
+    found: list[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        found.extend(lint_source(source, path=str(file_path), select=select))
+    return sorted(found)

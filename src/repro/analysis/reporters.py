@@ -1,0 +1,46 @@
+"""speclint output formats: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.diagnostics import RULES, Diagnostic, Severity
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """One ``path:line:col: CODE [severity] message`` line per finding,
+    followed by a summary line."""
+    lines = [diag.format_text() for diag in diagnostics]
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    warnings = len(diagnostics) - errors
+    if diagnostics:
+        lines.append(f"speclint: {errors} error(s), {warnings} warning(s)")
+    else:
+        lines.append("speclint: clean")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Stable JSON document: summary counts plus one record per finding."""
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    payload = {
+        "tool": "speclint",
+        "rules": {code: rule.summary for code, rule in sorted(RULES.items())},
+        "summary": {
+            "total": len(diagnostics),
+            "errors": errors,
+            "warnings": len(diagnostics) - errors,
+        },
+        "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render(diagnostics: Sequence[Diagnostic], fmt: str = "text") -> str:
+    """Render in the requested format (``text`` or ``json``)."""
+    if fmt == "json":
+        return render_json(diagnostics)
+    if fmt == "text":
+        return render_text(diagnostics)
+    raise ValueError(f"unknown speclint output format {fmt!r}")

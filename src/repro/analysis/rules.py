@@ -1,0 +1,599 @@
+"""The speclint rules (SPL001..SPL006).
+
+Each rule is a small, self-contained AST pass tuned to *this*
+codebase's speculative-DES idioms (see ``docs/static_analysis.md`` for
+the rationale, bad/good examples and the honest list of heuristics).
+
+Shared conventions the rules key on:
+
+* Virtual processors are bound to names ending in ``proc`` (``proc``,
+  ``vp``, ``processor``); environments to names ending in ``env``.
+* Generator-API methods (``compute``/``advance``/``recv``) only make
+  progress when driven with ``yield from``.
+* Message tags are ``(family, iteration)`` tuples whose family is a
+  declared constant (``VARS``, ``BARRIER_IN``...), never a bare string.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity, register_rule
+
+# --------------------------------------------------------------------------
+# shared helpers
+# --------------------------------------------------------------------------
+
+#: Receiver names that denote a virtual processor.
+PROC_NAMES = frozenset({"proc", "processor", "vp"})
+#: Receiver names that denote a simulation environment.
+ENV_NAMES = frozenset({"env", "environment"})
+#: Processor methods that are generators (must be ``yield from``-ed).
+GENERATOR_METHODS = frozenset({"compute", "advance", "recv"})
+#: Blocking receive primitives (simulated and wall-clock backends).
+BLOCKING_RECV_METHODS = frozenset({"recv", "take_blocking"})
+#: Transport primitives whose ``tag=`` keyword speclint inspects.
+TAGGED_METHODS = frozenset({"send", "recv", "try_recv", "probe", "broadcast"})
+#: Payload-sending primitives inspected by the aliasing rule.
+SEND_METHODS = frozenset({"send", "broadcast"})
+#: numpy in-place array mutators.
+ARRAY_MUTATORS = frozenset(
+    {"fill", "sort", "resize", "put", "itemset", "partition", "setflags", "byteswap"}
+)
+#: ``random`` module-level functions (process-global RNG state).
+RANDOM_MODULE_FUNCS = frozenset(
+    {
+        "random", "randint", "randrange", "uniform", "choice", "choices",
+        "shuffle", "sample", "gauss", "normalvariate", "seed", "betavariate",
+        "expovariate", "getrandbits", "triangular", "vonmisesvariate",
+    }
+)
+#: Legacy ``numpy.random`` module-level API (global RNG state); the
+#: injected ``numpy.random.default_rng`` / ``Generator`` is the allowed
+#: replacement.
+NUMPY_LEGACY_RANDOM = frozenset(
+    {
+        "rand", "randn", "random", "random_sample", "ranf", "sample",
+        "randint", "random_integers", "seed", "uniform", "normal", "choice",
+        "shuffle", "permutation", "standard_normal", "exponential", "poisson",
+        "binomial", "get_state", "set_state", "RandomState",
+    }
+)
+#: Handler-body calls that preserve the original traceback.
+TRACEBACK_PRESERVERS = frozenset(
+    {"format_exc", "print_exc", "format_exception", "exception", "print_exception"}
+)
+
+
+def build_parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """Map each node to its syntactic parent."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def receiver_tail(expr: ast.expr) -> Optional[str]:
+    """Terminal identifier of a receiver expression.
+
+    ``proc`` -> "proc"; ``self.proc`` -> "proc"; ``cluster.env`` ->
+    "env"; anything else -> None.
+    """
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def is_proc_receiver(expr: ast.expr) -> bool:
+    """Does ``expr`` look like a virtual-processor handle?"""
+    tail = receiver_tail(expr)
+    return tail is not None and (tail in PROC_NAMES or tail.endswith("_proc"))
+
+
+def is_env_receiver(expr: ast.expr) -> bool:
+    """Does ``expr`` look like a simulation environment handle?"""
+    tail = receiver_tail(expr)
+    return tail is not None and (tail in ENV_NAMES or tail.endswith("_env"))
+
+
+def dotted_name(expr: ast.expr) -> Optional[str]:
+    """``a.b.c`` as a string, or None for non-name chains."""
+    parts: list[str] = []
+    node: ast.expr = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def import_table(tree: ast.Module) -> tuple[dict[str, str], dict[str, tuple[str, str]]]:
+    """(module aliases, from-imports) declared in the file.
+
+    Returns ``({"np": "numpy", "time": "time"}, {"urandom": ("os",
+    "urandom")})``-style tables.
+    """
+    modules: dict[str, str] = {}
+    from_names: dict[str, tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                modules[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                from_names[alias.asname or alias.name] = (node.module, alias.name)
+    return modules, from_names
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in the module (any nesting)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_own_body(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested defs."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def is_generator_function(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Does the function's own body contain a yield?"""
+    for node in walk_own_body(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _diag(
+    path: str, node: ast.AST, code: str, severity: Severity, message: str
+) -> Diagnostic:
+    return Diagnostic(
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        severity=severity,
+        message=message,
+    )
+
+
+# --------------------------------------------------------------------------
+# SPL001 — unawaited simulation call
+# --------------------------------------------------------------------------
+
+
+@register_rule(
+    "SPL001",
+    "unawaited-simulation-call",
+    Severity.ERROR,
+    "generator-API call (proc.compute/advance/recv) not driven with "
+    "`yield from`, or an env.timeout event created and discarded",
+)
+def check_spl001(tree: ast.Module, path: str, source: str) -> Iterator[Diagnostic]:
+    """A dropped ``yield from`` silently skips virtual time/blocking."""
+    parents = build_parent_map(tree)
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        recv = node.func.value
+        if attr in GENERATOR_METHODS and is_proc_receiver(recv):
+            parent = parents.get(node)
+            if not isinstance(parent, ast.YieldFrom):
+                yield _diag(
+                    path,
+                    node,
+                    "SPL001",
+                    Severity.ERROR,
+                    f"simulation call `{receiver_tail(recv)}.{attr}(...)` is a "
+                    "generator and does nothing unless driven with `yield from`",
+                )
+        elif attr == "timeout" and is_env_receiver(recv):
+            parent = parents.get(node)
+            if isinstance(parent, ast.Expr):
+                yield _diag(
+                    path,
+                    node,
+                    "SPL001",
+                    Severity.ERROR,
+                    f"`{receiver_tail(recv)}.timeout(...)` creates an event that "
+                    "is discarded; yield it (or drop the call)",
+                )
+
+
+# --------------------------------------------------------------------------
+# SPL002 — blocking recv inside a speculative (fw >= 1) path
+# --------------------------------------------------------------------------
+
+
+def _fw_branch_kind(test: ast.expr) -> Optional[str]:
+    """Classify a branch test on the forward window.
+
+    Returns ``"spec"`` when the test implies fw >= 1, ``"blocking"``
+    when it implies fw == 0, None when it does not mention fw.
+    """
+
+    def is_fw(expr: ast.expr) -> bool:
+        tail = receiver_tail(expr)
+        return tail is not None and (tail == "fw" or tail.endswith("_fw"))
+
+    if is_fw(test):
+        return "spec"
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not) and is_fw(test.operand):
+        return "blocking"
+    if isinstance(test, ast.Compare) and len(test.ops) == 1 and is_fw(test.left):
+        op = test.ops[0]
+        right = test.comparators[0]
+        if not isinstance(right, ast.Constant) or not isinstance(right.value, (int, float)):
+            return None
+        bound = float(right.value)
+        if isinstance(op, ast.Gt) and bound >= 0:
+            return "spec"
+        if isinstance(op, ast.GtE) and bound >= 1:
+            return "spec"
+        if isinstance(op, ast.NotEq) and bound == 0:
+            return "spec"
+        if isinstance(op, ast.Eq) and bound == 0:
+            return "blocking"
+        if isinstance(op, ast.Lt) and bound <= 1:
+            return "blocking"
+        if isinstance(op, ast.LtE) and bound <= 0:
+            return "blocking"
+    return None
+
+
+@register_rule(
+    "SPL002",
+    "blocking-recv-in-speculative-path",
+    Severity.ERROR,
+    "blocking receive reachable inside an fw>=1 (speculative) branch; "
+    "use try_recv/probe so the compute can run ahead",
+)
+def check_spl002(tree: ast.Module, path: str, source: str) -> Iterator[Diagnostic]:
+    """Blocking in the speculative arm reintroduces delay propagation."""
+
+    def blocking_recvs(nodes: list[ast.stmt]) -> Iterator[ast.Call]:
+        for stmt in nodes:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in BLOCKING_RECV_METHODS
+                ):
+                    yield node
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If):
+            kind = _fw_branch_kind(node.test)
+            spec_arm: list[ast.stmt] = []
+            if kind == "spec":
+                spec_arm = node.body
+            elif kind == "blocking":
+                spec_arm = node.orelse
+            for call in blocking_recvs(spec_arm):
+                assert isinstance(call.func, ast.Attribute)
+                yield _diag(
+                    path,
+                    call,
+                    "SPL002",
+                    Severity.ERROR,
+                    f"blocking `{call.func.attr}(...)` inside a speculative "
+                    "(fw >= 1) branch; use try_recv()/probe() and speculate "
+                    "instead of waiting",
+                )
+        elif isinstance(node, ast.While) and _fw_branch_kind(node.test) == "spec":
+            for call in blocking_recvs(node.body):
+                assert isinstance(call.func, ast.Attribute)
+                yield _diag(
+                    path,
+                    call,
+                    "SPL002",
+                    Severity.ERROR,
+                    f"blocking `{call.func.attr}(...)` inside an fw >= 1 loop; "
+                    "use try_recv()/probe()",
+                )
+
+
+# --------------------------------------------------------------------------
+# SPL003 — nondeterminism in simulated components
+# --------------------------------------------------------------------------
+
+
+@register_rule(
+    "SPL003",
+    "nondeterministic-source",
+    Severity.ERROR,
+    "wall-clock or process-global RNG in simulated code; inject a "
+    "numpy.random.Generator (default_rng) and use env.now for time",
+)
+def check_spl003(tree: ast.Module, path: str, source: str) -> Iterator[Diagnostic]:
+    """time.time / random.* / os.urandom / legacy np.random break replay."""
+    modules, from_names = import_table(tree)
+
+    def flag(node: ast.AST, what: str) -> Diagnostic:
+        return _diag(
+            path,
+            node,
+            "SPL003",
+            Severity.ERROR,
+            f"nondeterministic source `{what}` in simulated code; use the "
+            "injected numpy.random.Generator / virtual clock instead",
+        )
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            dotted = dotted_name(func)
+            if dotted is None:
+                continue
+            head, _, rest = dotted.partition(".")
+            base = modules.get(head)
+            if base is None:
+                continue
+            resolved = f"{base}.{rest}" if rest else base
+            if resolved in ("time.time", "time.time_ns", "os.urandom"):
+                yield flag(node, resolved)
+            elif base == "random" and rest in RANDOM_MODULE_FUNCS:
+                yield flag(node, f"random.{rest}")
+            elif resolved.startswith("numpy.random."):
+                leaf = resolved.rsplit(".", 1)[1]
+                if leaf in NUMPY_LEGACY_RANDOM:
+                    yield flag(node, f"numpy.random.{leaf}")
+        elif isinstance(func, ast.Name):
+            origin = from_names.get(func.id)
+            if origin is None:
+                continue
+            mod, name = origin
+            if (mod, name) in (("time", "time"), ("time", "time_ns"), ("os", "urandom")):
+                yield flag(node, f"{mod}.{name}")
+            elif mod == "random" and name in RANDOM_MODULE_FUNCS:
+                yield flag(node, f"random.{name}")
+            elif mod == "numpy.random" and name in NUMPY_LEGACY_RANDOM:
+                yield flag(node, f"numpy.random.{name}")
+
+
+# --------------------------------------------------------------------------
+# SPL004 — message-tag discipline
+# --------------------------------------------------------------------------
+
+
+@register_rule(
+    "SPL004",
+    "message-tag-discipline",
+    Severity.ERROR,
+    "message tags must be (family, iteration) tuples whose family is a "
+    "declared constant (e.g. VARS), not a bare string",
+)
+def check_spl004(tree: ast.Module, path: str, source: str) -> Iterator[Diagnostic]:
+    """Bare-string tags collide across protocols and defeat routing."""
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in TAGGED_METHODS
+        ):
+            continue
+        tag_kw = next((kw for kw in node.keywords if kw.arg == "tag"), None)
+        if tag_kw is None:
+            continue
+        tag = tag_kw.value
+        if isinstance(tag, ast.Constant):
+            if tag.value is None:
+                continue  # wildcard receive
+            yield _diag(
+                path,
+                tag,
+                "SPL004",
+                Severity.ERROR,
+                f"bare {type(tag.value).__name__} tag {tag.value!r}; use a "
+                "(family, iteration) tuple with a declared family constant",
+            )
+        elif isinstance(tag, ast.Tuple):
+            if len(tag.elts) != 2:
+                yield _diag(
+                    path,
+                    tag,
+                    "SPL004",
+                    Severity.ERROR,
+                    f"tag tuple has {len(tag.elts)} elements; the protocol "
+                    "uses (family, iteration) pairs",
+                )
+            elif isinstance(tag.elts[0], ast.Constant):
+                first = tag.elts[0]
+                assert isinstance(first, ast.Constant)
+                yield _diag(
+                    path,
+                    first,
+                    "SPL004",
+                    Severity.ERROR,
+                    f"inline tag family {first.value!r}; declare a module-level "
+                    "family constant (like VARS) and use it in the tuple",
+                )
+
+
+# --------------------------------------------------------------------------
+# SPL005 — mutable-payload aliasing
+# --------------------------------------------------------------------------
+
+
+@register_rule(
+    "SPL005",
+    "mutable-payload-aliasing",
+    Severity.WARNING,
+    "array sent by reference is mutated later in the same function; "
+    "the receiver may observe the mutation (send a copy)",
+)
+def check_spl005(tree: ast.Module, path: str, source: str) -> Iterator[Diagnostic]:
+    """Zero-copy simulated sends alias sender memory; late writes race."""
+    for func in iter_functions(tree):
+        sends: list[tuple[str, ast.Call]] = []
+        for node in walk_own_body(func):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in SEND_METHODS
+            ):
+                continue
+            payload: Optional[ast.expr] = None
+            idx = 1 if node.func.attr == "send" else 0
+            if len(node.args) > idx:
+                payload = node.args[idx]
+            else:
+                kw = next((k for k in node.keywords if k.arg == "payload"), None)
+                payload = kw.value if kw is not None else None
+            if isinstance(payload, ast.Name):
+                sends.append((payload.id, node))
+        if not sends:
+            continue
+        for name, call in sends:
+            for node in walk_own_body(func):
+                line = getattr(node, "lineno", 0)
+                if line <= call.lineno:
+                    continue
+                mutated = False
+                if isinstance(node, ast.Assign):
+                    mutated = any(
+                        isinstance(t, ast.Subscript)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == name
+                        for t in node.targets
+                    )
+                elif isinstance(node, ast.AugAssign):
+                    target = node.target
+                    mutated = (
+                        isinstance(target, ast.Name) and target.id == name
+                    ) or (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == name
+                    )
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    mutated = (
+                        node.func.attr in ARRAY_MUTATORS
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == name
+                    )
+                if mutated:
+                    yield _diag(
+                        path,
+                        call,
+                        "SPL005",
+                        Severity.WARNING,
+                        f"payload `{name}` is sent by reference but mutated at "
+                        f"line {line}; send `{name}.copy()` (simulated sends "
+                        "are zero-copy aliases)",
+                    )
+                    break
+
+
+# --------------------------------------------------------------------------
+# SPL006 — broad except swallowing Interrupt / SimulationError
+# --------------------------------------------------------------------------
+
+
+def _caught_names(type_expr: Optional[ast.expr]) -> set[str]:
+    if type_expr is None:
+        return set()
+    exprs = type_expr.elts if isinstance(type_expr, ast.Tuple) else [type_expr]
+    names: set[str] = set()
+    for expr in exprs:
+        tail = receiver_tail(expr)
+        if tail is not None:
+            names.add(tail)
+    return names
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in walk_own_body(handler))
+
+
+#: Builtins that *stringify* an exception rather than preserving it.
+_STRINGIFIERS = frozenset({"type", "str", "repr", "format", "print"})
+
+
+def _handler_preserves_traceback(handler: ast.ExceptHandler) -> bool:
+    bound = handler.name
+    for node in walk_own_body(handler):
+        if isinstance(node, ast.Attribute):
+            if node.attr in TRACEBACK_PRESERVERS or node.attr == "__traceback__":
+                return True
+        if bound is not None and isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in _STRINGIFIERS:
+                continue  # str(exc)/type(exc) drop the traceback
+            for arg in node.args:
+                if isinstance(arg, ast.Name) and arg.id == bound:
+                    return True
+    return False
+
+
+@register_rule(
+    "SPL006",
+    "broad-except-swallows-interrupt",
+    Severity.ERROR,
+    "bare/broad except in (or around) DES process bodies can swallow "
+    "Interrupt/SimulationError or drop the original traceback",
+)
+def check_spl006(tree: ast.Module, path: str, source: str) -> Iterator[Diagnostic]:
+    """Swallowed Interrupts deadlock cascades; lost tracebacks hide bugs."""
+    for func in iter_functions(tree):
+        in_generator = is_generator_function(func)
+        for node in walk_own_body(func):
+            if not isinstance(node, ast.Try):
+                continue
+            interrupt_handled = any(
+                "Interrupt" in _caught_names(h.type) for h in node.handlers
+            )
+            for handler in node.handlers:
+                if handler.type is None:
+                    yield _diag(
+                        path,
+                        handler,
+                        "SPL006",
+                        Severity.ERROR,
+                        "bare `except:` swallows Interrupt/SimulationError "
+                        "(and KeyboardInterrupt); catch specific exceptions",
+                    )
+                    continue
+                names = _caught_names(handler.type)
+                if not names & {"Exception", "BaseException"}:
+                    continue
+                if _handler_reraises(handler):
+                    continue
+                if in_generator and not interrupt_handled:
+                    yield _diag(
+                        path,
+                        handler,
+                        "SPL006",
+                        Severity.ERROR,
+                        "broad except in a DES process body swallows "
+                        "Interrupt/SimulationError; catch specific exceptions "
+                        "or re-raise",
+                    )
+                elif not _handler_preserves_traceback(handler):
+                    yield _diag(
+                        path,
+                        handler,
+                        "SPL006",
+                        Severity.ERROR,
+                        "broad except discards the original traceback; "
+                        "re-raise, pass the exception object on, or record "
+                        "traceback.format_exc()",
+                    )

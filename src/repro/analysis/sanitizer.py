@@ -1,0 +1,298 @@
+"""Runtime protocol sanitizer for the speculative DES stack.
+
+Opt-in (``REPRO_SANITIZE=1`` or ``sanitize=True`` on the drivers), the
+sanitizer asserts the protocol invariants *while the simulation runs*:
+
+``event-state-machine``
+    Every processed event was triggered first and is processed at most
+    once (pending -> triggered -> processed).
+``monotonic-virtual-time``
+    The virtual clock never moves backwards.
+``forward-window-bound``
+    ``t_compute - t_oldest_unverified <= fw`` on every compute entry
+    (with ``fw = 0`` the blocking algorithm: everything verified).
+``cascade-order``
+    Correction cascades recompute strictly ascending iterations.
+``verify-without-speculate``
+    Only iterations that were actually speculated are ever verified.
+
+A violated invariant raises :class:`ProtocolViolation` carrying a
+phase-trace excerpt (the most recent protocol events) so the failure
+is debuggable without re-running under a tracer.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.des.errors import SimulationError
+
+#: Environment variable that turns the sanitizer on for every driver.
+ENV_FLAG = "REPRO_SANITIZE"
+
+
+class ProtocolViolation(SimulationError):
+    """A runtime protocol invariant was broken.
+
+    Attributes
+    ----------
+    invariant:
+        Short invariant identifier (e.g. ``"forward-window-bound"``).
+    details:
+        Human-readable description of the violation.
+    trace:
+        The sanitizer's most recent phase-trace entries (oldest first).
+    """
+
+    def __init__(self, invariant: str, details: str, trace: list[str]) -> None:
+        self.invariant = invariant
+        self.details = details
+        self.trace = trace
+        excerpt = "\n".join(f"    {line}" for line in trace) or "    (empty)"
+        super().__init__(
+            f"protocol invariant violated [{invariant}]: {details}\n"
+            f"  recent phase trace (oldest first):\n{excerpt}"
+        )
+
+
+def sanitize_enabled() -> bool:
+    """Is :data:`ENV_FLAG` set to a truthy value?"""
+    return os.environ.get(ENV_FLAG, "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+def sanitizer_from_env() -> Optional["ProtocolSanitizer"]:
+    """A fresh sanitizer when :data:`ENV_FLAG` is set, else None."""
+    return ProtocolSanitizer() if sanitize_enabled() else None
+
+
+class ProtocolSanitizer:
+    """Checks DES + speculative-protocol invariants as a run executes.
+
+    One instance guards one simulation (attach it to the environment
+    via ``env.sanitizer`` and pass it the driver hooks).  All hooks are
+    cheap enough for test-suite use; production runs leave the
+    sanitizer off (``env.sanitizer is None`` costs one attribute test
+    per event).
+    """
+
+    INVARIANTS = (
+        "event-state-machine",
+        "monotonic-virtual-time",
+        "forward-window-bound",
+        "cascade-order",
+        "verify-without-speculate",
+    )
+
+    def __init__(self, trace_limit: int = 40) -> None:
+        self._trace: Deque[str] = deque(maxlen=trace_limit)
+        #: Outstanding (rank, src, t) speculations awaiting verification.
+        self._outstanding: set[tuple[int, int, int]] = set()
+        #: Everything ever speculated (re-speculation during a cascade
+        #: legitimately re-registers the same key).
+        self._speculated: set[tuple[int, int, int]] = set()
+        #: Per-rank last cascade iteration (None = no cascade open).
+        self._cascade_last: dict[int, int] = {}
+        self._last_now: float = float("-inf")
+        #: Totals, exposed for tests / reporting.
+        self.events_checked = 0
+        self.checks_passed = 0
+
+    # ----------------------------------------------------------- trace
+    def note(self, entry: str) -> None:
+        """Append one entry to the phase-trace ring buffer."""
+        self._trace.append(entry)
+
+    def trace_excerpt(self) -> list[str]:
+        """Current ring-buffer contents (oldest first)."""
+        return list(self._trace)
+
+    def _violate(self, invariant: str, details: str) -> None:
+        raise ProtocolViolation(invariant, details, self.trace_excerpt())
+
+    # ------------------------------------------------------- DES hooks
+    def on_event_processed(self, event: object, now: float, prev_now: float) -> None:
+        """Called by ``Environment.step`` before callbacks run."""
+        self.events_checked += 1
+        if now < prev_now:
+            self._violate(
+                "monotonic-virtual-time",
+                f"clock moved backwards: {prev_now} -> {now}",
+            )
+        if now < self._last_now:
+            self._violate(
+                "monotonic-virtual-time",
+                f"clock moved backwards across steps: {self._last_now} -> {now}",
+            )
+        self._last_now = now
+        triggered = getattr(event, "triggered", True)
+        if not triggered:
+            self._violate(
+                "event-state-machine",
+                f"{event!r} reached the calendar without being triggered",
+            )
+        if getattr(event, "callbacks", ()) is None:
+            self._violate(
+                "event-state-machine",
+                f"{event!r} processed twice (callbacks already consumed)",
+            )
+        self.checks_passed += 1
+
+    # -------------------------------------------------- protocol hooks
+    def on_speculate(self, rank: int, src: int, t: int) -> None:
+        """Rank ``rank`` speculated the input from ``src`` at iteration ``t``."""
+        self.note(f"rank {rank}: speculate src={src} t={t}")
+        self._outstanding.add((rank, src, t))
+        self._speculated.add((rank, src, t))
+
+    def on_verify(self, rank: int, src: int, t: int) -> None:
+        """Rank ``rank`` verifies the (src, t) speculation."""
+        self.note(f"rank {rank}: verify src={src} t={t}")
+        if (rank, src, t) not in self._speculated:
+            self._violate(
+                "verify-without-speculate",
+                f"rank {rank} verifying (src={src}, t={t}) which was never "
+                "speculated",
+            )
+        self._outstanding.discard((rank, src, t))
+
+    def on_compute_begin(
+        self, rank: int, t: int, verified_upto: int, fw: int
+    ) -> None:
+        """Rank ``rank`` enters the compute of iteration ``t``."""
+        self.note(f"rank {rank}: compute t={t} verified_upto={verified_upto} fw={fw}")
+        if verified_upto >= t:
+            return  # nothing unverified at or before t
+        oldest_unverified = verified_upto + 1
+        if fw == 0:
+            self._violate(
+                "forward-window-bound",
+                f"rank {rank} computing t={t} with fw=0 but iteration "
+                f"{oldest_unverified} unverified (blocking algorithm must "
+                "wait)",
+            )
+        elif t - oldest_unverified > fw:
+            self._violate(
+                "forward-window-bound",
+                f"rank {rank} computing t={t} while oldest unverified "
+                f"iteration is {oldest_unverified}: distance "
+                f"{t - oldest_unverified} exceeds fw={fw}",
+            )
+
+    def on_cascade_begin(self, rank: int, t: int) -> None:
+        """A correction cascade repairs iteration ``t`` and opens."""
+        self.note(f"rank {rank}: cascade begin t={t}")
+        self._cascade_last[rank] = t
+
+    def on_cascade_step(self, rank: int, t: int) -> None:
+        """The open cascade recomputes iteration ``t``."""
+        self.note(f"rank {rank}: cascade recompute t={t}")
+        last = self._cascade_last.get(rank)
+        if last is None:
+            self._violate(
+                "cascade-order",
+                f"rank {rank} cascade recompute of t={t} outside any cascade",
+            )
+        elif t <= last:
+            self._violate(
+                "cascade-order",
+                f"rank {rank} cascade recomputed t={t} after t={last}; "
+                "cascades must repair ascending iterations",
+            )
+        self._cascade_last[rank] = t
+
+    def on_cascade_end(self, rank: int) -> None:
+        """The open cascade for ``rank`` finished."""
+        self.note(f"rank {rank}: cascade end")
+        self._cascade_last.pop(rank, None)
+
+    # ---------------------------------------------------------- final
+    def on_run_end(self) -> None:
+        """Called once the driver finished: no speculation may remain
+        unverified."""
+        self.note("run end")
+        if self._outstanding:
+            sample = sorted(self._outstanding)[:5]
+            self._violate(
+                "verify-without-speculate",
+                f"{len(self._outstanding)} speculation(s) never verified "
+                f"(e.g. {sample})",
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProtocolSanitizer events={self.events_checked} "
+            f"outstanding={len(self._outstanding)}>"
+        )
+
+
+def run_selftest(verbose: bool = True) -> int:
+    """Prove the sanitizer fires: run a clean simulation under it, then
+    deliberately violate each driver-level invariant.
+
+    Returns a process exit code (0 = sanitizer behaves as specified).
+    """
+    failures: list[str] = []
+
+    def expect_violation(invariant: str, thunk: Callable[[], None]) -> None:
+        try:
+            thunk()
+        except ProtocolViolation as exc:
+            if exc.invariant != invariant:
+                failures.append(
+                    f"{invariant}: raised {exc.invariant} instead"
+                )
+            return
+        failures.append(f"{invariant}: violation NOT detected")
+
+    # 1. A clean speculative run under the sanitizer must pass.
+    try:
+        from repro.core.driver import run_program
+        from repro.harness.toys import ConstantProgram
+        from repro.netsim import ConstantLatency, DelayNetwork
+        from repro.vm import Cluster, uniform_specs
+
+        prog = ConstantProgram(nprocs=3, iterations=6, ops_per_compute=1e3)
+        cluster = Cluster(
+            uniform_specs(3, capacity=1e3),
+            network_factory=lambda env: DelayNetwork(env, ConstantLatency(0.5)),
+        )
+        result = run_program(prog, cluster, fw=2, sanitize=True)
+        if result.iterations != 6:  # pragma: no cover - sanity
+            failures.append("clean run: unexpected result")
+    except ProtocolViolation as exc:  # pragma: no cover - would be a bug
+        failures.append(f"clean run violated {exc.invariant}")
+
+    # 2. Each invariant must fire on a crafted violation.
+    def bad_verify() -> None:
+        ProtocolSanitizer().on_verify(0, 1, 3)
+
+    def bad_window() -> None:
+        ProtocolSanitizer().on_compute_begin(0, t=5, verified_upto=1, fw=2)
+
+    def bad_cascade() -> None:
+        san = ProtocolSanitizer()
+        san.on_cascade_begin(0, 4)
+        san.on_cascade_step(0, 3)
+
+    def bad_clock() -> None:
+        san = ProtocolSanitizer()
+        san.on_event_processed(object(), now=1.0, prev_now=2.0)
+
+    expect_violation("verify-without-speculate", bad_verify)
+    expect_violation("forward-window-bound", bad_window)
+    expect_violation("cascade-order", bad_cascade)
+    expect_violation("monotonic-virtual-time", bad_clock)
+
+    if verbose:
+        if failures:
+            for failure in failures:
+                print(f"sanitizer selftest FAILED: {failure}")
+        else:
+            print(
+                "sanitizer selftest ok: clean run passed; "
+                f"{len(ProtocolSanitizer.INVARIANTS)} invariants armed, "
+                "4 crafted violations detected"
+            )
+    return 1 if failures else 0

@@ -8,6 +8,9 @@ Subcommands
     Regenerate one of the paper's tables/figures and print it.
 ``repro nbody --p 8 --fw 1 ...``
     Run a single N-body experiment with explicit knobs.
+``repro lint [paths] [--format json] [--sanitize-selftest]``
+    Run speclint (the protocol-aware static analyzer) over the given
+    files/directories, or self-test the runtime protocol sanitizer.
 """
 
 from __future__ import annotations
@@ -81,6 +84,22 @@ def _cmd_nbody(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_paths, render
+    from repro.analysis.sanitizer import run_selftest
+
+    if args.sanitize_selftest:
+        return run_selftest()
+    paths = args.paths or ["src"]
+    try:
+        diagnostics = lint_paths(paths, select=args.select)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(render(diagnostics, args.format))
+    return 1 if diagnostics else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -106,6 +125,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_nb.add_argument("--iterations", type=int, default=10)
     p_nb.add_argument("--theta", type=float, default=0.01)
     p_nb.set_defaults(func=_cmd_nbody)
+
+    p_lint = sub.add_parser(
+        "lint", help="run speclint (protocol-aware static analysis)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", help="files/directories to lint (default: src)"
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    p_lint.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="only run the given rule (repeatable), e.g. --select SPL001",
+    )
+    p_lint.add_argument(
+        "--sanitize-selftest",
+        action="store_true",
+        help="instead of linting, self-test the runtime protocol sanitizer",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

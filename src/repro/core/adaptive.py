@@ -22,6 +22,7 @@ or ranks behind congested paths settle on different windows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.driver import SpeculativeDriver, _RankState
 from repro.core.program import SyncIterativeProgram
@@ -87,8 +88,9 @@ class AdaptiveSpeculativeDriver(SpeculativeDriver):
         fw: int = 1,
         policy: AdaptivePolicy = AdaptivePolicy(),
         cascade: str = "none",
+        sanitize: Optional[bool] = None,
     ) -> None:
-        super().__init__(program, cluster, fw=fw, cascade=cascade)
+        super().__init__(program, cluster, fw=fw, cascade=cascade, sanitize=sanitize)
         if not policy.min_fw <= fw <= policy.max_fw:
             raise ValueError("initial fw must lie within [min_fw, max_fw]")
         self.policy = policy

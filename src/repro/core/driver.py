@@ -34,8 +34,9 @@ construction.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generator, Optional
+from typing import Generator, Optional
 
+from repro.analysis.sanitizer import ProtocolSanitizer, sanitizer_from_env
 from repro.core.program import Block, SyncIterativeProgram
 from repro.core.results import RunResult, SpecStats
 from repro.vm import Cluster, VirtualProcessor
@@ -151,6 +152,11 @@ class SpeculativeDriver:
           slightly stale own-state, bounded by θ, and are repaired
           implicitly as fresher messages arrive.  Far cheaper under
           deep forward windows.
+    sanitize:
+        Run under the :class:`~repro.analysis.sanitizer.ProtocolSanitizer`,
+        which asserts DES and forward-window invariants as the
+        simulation executes.  ``None`` (default) defers to the
+        ``REPRO_SANITIZE`` environment variable.
     """
 
     def __init__(
@@ -159,6 +165,7 @@ class SpeculativeDriver:
         cluster: Cluster,
         fw: int = 1,
         cascade: str = "recompute",
+        sanitize: Optional[bool] = None,
     ) -> None:
         if fw < 0:
             raise ValueError("fw must be >= 0")
@@ -172,6 +179,10 @@ class SpeculativeDriver:
         self.program = program
         self.cluster = cluster
         self.fw = fw
+        if sanitize is None:
+            self.sanitizer: Optional[ProtocolSanitizer] = sanitizer_from_env()
+        else:
+            self.sanitizer = ProtocolSanitizer() if sanitize else None
         hist_cap = max(getattr(program.speculator, "backward_window", 1), 2) + 2
         self._hist_cap = hist_cap
         self._stats = [SpecStats(rank=r) for r in range(cluster.size)]
@@ -191,7 +202,11 @@ class SpeculativeDriver:
     # ------------------------------------------------------------------ run
     def run(self) -> RunResult:
         """Execute the program to completion; returns the measurements."""
+        if self.sanitizer is not None:
+            self.cluster.env.sanitizer = self.sanitizer
         finals = self.cluster.run(self._rank_program)
+        if self.sanitizer is not None:
+            self.sanitizer.on_run_end()
         for stats, proc in zip(self._stats, self.cluster.processors):
             stats.messages_sent = proc.sent_count
             stats.messages_received = proc.recv_count
@@ -213,6 +228,7 @@ class SpeculativeDriver:
         st = _RankState(j, prog, self._hist_cap, self._needed[j])
         st.fw = self.fw
         stats = self._stats[j]
+        san = self.sanitizer
 
         for t in range(T):
             # 1. Opportunistically absorb whatever has already arrived.
@@ -223,7 +239,7 @@ class SpeculativeDriver:
             #     correction of X_j(t) lands *before* it goes on the wire.
             #     (With fw >= 2 the processor is allowed to run further
             #     ahead and sends may be tainted — counted below.)
-            pre_horizon = t - max(st.fw, 1)
+            pre_horizon = self._pre_send_horizon(st, t)
             while st.verified_upto < pre_horizon:
                 wait_start = proc.env.now
                 msg = yield from proc.recv(phase="comm", iteration=t)
@@ -269,9 +285,13 @@ class SpeculativeDriver:
                     st.spec_used[(k, t)] = spec
                     inputs[k] = spec
                     stats.spec_made += 1
+                    if san is not None:
+                        san.on_speculate(j, k, t)
             st.inputs_used[t] = inputs
 
             # 4. Compute X_j(t+1).
+            if san is not None:
+                san.on_compute_begin(j, t, st.verified_upto, st.fw)
             new_block = prog.compute(j, inputs, t)
             yield from proc.compute(prog.compute_ops(j), phase="compute", iteration=t)
             st.chain[t + 1] = new_block
@@ -287,6 +307,17 @@ class SpeculativeDriver:
             yield from self._process_message(proc, st, msg)
 
         return st.chain[T]
+
+    def _pre_send_horizon(self, st: _RankState, t: int) -> int:
+        """Oldest iteration that must be verified before X_j(t) is sent.
+
+        Fig. 3 sends X_j(t) only once the trailing verification loop has
+        caught up to ``t - max(fw, 1)``, so corrections land before the
+        block goes on the wire.  Factored out (together with
+        :meth:`_window_ok`) so tests can sabotage the gates and prove
+        the runtime sanitizer catches the resulting window violations.
+        """
+        return t - max(st.fw, 1)
 
     def _window_ok(self, st: _RankState, t: int) -> bool:
         """May iteration ``t`` start given the rank's forward window?"""
@@ -325,6 +356,8 @@ class SpeculativeDriver:
         if spec is None:
             return  # arrived before we needed it: no speculation to verify
 
+        if self.sanitizer is not None:
+            self.sanitizer.on_verify(j, k, t)
         yield from proc.compute(prog.check_ops(j, k), phase="check", iteration=t)
         stats.checks += 1
         own = st.chain[t]
@@ -348,6 +381,9 @@ class SpeculativeDriver:
         prog = self.program
         j = proc.rank
         stats = self._stats[j]
+        san = self.sanitizer
+        if san is not None:
+            san.on_cascade_begin(j, t)
 
         # Repair iteration t itself via the (possibly incremental)
         # application correction hook.
@@ -361,10 +397,14 @@ class SpeculativeDriver:
         stats.recomputes += 1
 
         if self.cascade == "none":
+            if san is not None:
+                san.on_cascade_end(j)
             return
 
         # Cascade: iterations t+1 .. frontier-1 consumed the old chain.
         for t2 in range(t + 1, st.frontier):
+            if san is not None:
+                san.on_cascade_step(j, t2)
             inputs2 = st.inputs_used[t2]
             inputs2[j] = st.chain[t2]
             for k2 in sorted(st.needed):
@@ -377,12 +417,16 @@ class SpeculativeDriver:
                     st.spec_used[(k2, t2)] = respec
                     inputs2[k2] = respec
                     stats.spec_made += 1
+                    if san is not None:
+                        san.on_speculate(j, k2, t2)
             new_block = prog.compute(j, inputs2, t2)
             yield from proc.compute(
                 prog.compute_ops(j), phase="correct", iteration=t2
             )
             st.chain[t2 + 1] = new_block
             stats.recomputes += 1
+        if san is not None:
+            san.on_cascade_end(j)
 
 
 def run_program(
@@ -390,6 +434,9 @@ def run_program(
     cluster: Cluster,
     fw: int = 1,
     cascade: str = "recompute",
+    sanitize: Optional[bool] = None,
 ) -> RunResult:
     """Convenience wrapper: build a driver and run it."""
-    return SpeculativeDriver(program, cluster, fw=fw, cascade=cascade).run()
+    return SpeculativeDriver(
+        program, cluster, fw=fw, cascade=cascade, sanitize=sanitize
+    ).run()

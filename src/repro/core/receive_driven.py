@@ -20,6 +20,7 @@ from __future__ import annotations
 from abc import abstractmethod
 from typing import Any, Generator, Mapping
 
+from repro.analysis.sanitizer import sanitizer_from_env
 from repro.core.program import Block, SyncIterativeProgram
 from repro.core.results import RunResult, SpecStats
 from repro.vm import Cluster, VirtualProcessor
@@ -96,6 +97,9 @@ class ReceiveDrivenDriver:
 
     def run(self) -> RunResult:
         """Execute to completion; returns the measurements."""
+        if self.cluster.env.sanitizer is None:
+            # DES-level invariants only (no speculation happens here).
+            self.cluster.env.sanitizer = sanitizer_from_env()
         finals = self.cluster.run(self._rank_program)
         for stats, proc in zip(self._stats, self.cluster.processors):
             stats.messages_sent = proc.sent_count

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.des.errors import EmptySchedule, SimulationError, StopSimulation
 from repro.des.events import Event, Process, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.sanitizer import ProtocolSanitizer
 
 
 class Environment:
@@ -40,6 +43,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Optional runtime protocol sanitizer (see
+        #: :mod:`repro.analysis.sanitizer`); None = zero overhead.
+        self.sanitizer: Optional["ProtocolSanitizer"] = None
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -83,10 +89,14 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
+        prev_now = self._now
         try:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no more events") from None
+        if self.sanitizer is not None:
+            # Event state machine + monotonic clock invariants.
+            self.sanitizer.on_event_processed(event, self._now, prev_now)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

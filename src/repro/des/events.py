@@ -17,7 +17,6 @@ fails with that exception).
 
 from __future__ import annotations
 
-from types import TracebackType
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 from repro.des.errors import Interrupt, SimulationError
@@ -241,6 +240,12 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
         self.env._active_process = self
+        sanitizer = self.env.sanitizer
+        if sanitizer is not None:
+            sanitizer.note(
+                f"t={self.env.now:.6g}: resume {self.name} "
+                f"({'ok' if event._ok else 'throw'})"
+            )
         try:
             if event._ok:
                 next_event = self._generator.send(event._value)

@@ -21,7 +21,6 @@ speculations — matching the paper's operating point.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 

@@ -16,6 +16,7 @@ headline result.
 from __future__ import annotations
 
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
@@ -107,9 +108,18 @@ def worker_main(
         report = _run_protocol(
             rank, program, fw, conns, latency, jitter, seed, start_barrier
         )
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover - interactive
+        # Never convert interpreter-shutdown signals into a report: the
+        # parent interprets worker death directly.
+        raise
     except Exception as exc:  # pragma: no cover - surfaced to the parent
+        # Preserve the full original traceback in the surfaced error so
+        # the parent's re-raise points at the real failure site.
         report = WorkerReport(
-            rank=rank, final_block=None, phase_seconds={}, error=f"{type(exc).__name__}: {exc}"
+            rank=rank,
+            final_block=None,
+            phase_seconds={},
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
         )
     result_conn.send(report)
     result_conn.close()

@@ -9,7 +9,6 @@ from the application's cost model, and compare curves.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Mapping, Sequence
 
 import numpy as np

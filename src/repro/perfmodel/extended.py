@@ -30,7 +30,6 @@ gap-driven rejections eat the gains — see :meth:`optimal_fw`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

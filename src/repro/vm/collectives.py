@@ -24,6 +24,19 @@ from typing import Any, Callable, Generator, Hashable, Optional
 from repro.vm.processor import VirtualProcessor
 
 
+#: Message-tag families used by the collectives.  Each collective call
+#: wraps the caller-supplied sub-tag as ``(FAMILY, tag)`` so collective
+#: traffic can never collide with driver traffic or other collectives.
+BARRIER_IN = "barrier-in"
+BARRIER_OUT = "barrier-out"
+GATHER = "gather"
+BCAST = "bcast"
+ALLGATHER = "allgather"
+REDUCE = "reduce"
+ALLREDUCE = "allreduce"
+ALLREDUCE_OUT = "allreduce-out"
+
+
 def barrier(proc: VirtualProcessor, tag: Hashable, iteration: Optional[int] = None) -> Generator:
     """Block until every processor has entered the barrier.
 
@@ -35,12 +48,12 @@ def barrier(proc: VirtualProcessor, tag: Hashable, iteration: Optional[int] = No
         return
     if proc.rank == 0:
         for _ in range(size - 1):
-            yield from proc.recv(tag=("barrier-in", tag), phase="idle", iteration=iteration)
+            yield from proc.recv(tag=(BARRIER_IN, tag), phase="idle", iteration=iteration)
         for dst in range(1, size):
-            proc.send(dst, None, tag=("barrier-out", tag), nbytes=8)
+            proc.send(dst, None, tag=(BARRIER_OUT, tag), nbytes=8)
     else:
-        proc.send(0, None, tag=("barrier-in", tag), nbytes=8)
-        yield from proc.recv(src=0, tag=("barrier-out", tag), phase="idle", iteration=iteration)
+        proc.send(0, None, tag=(BARRIER_IN, tag), nbytes=8)
+        yield from proc.recv(src=0, tag=(BARRIER_OUT, tag), phase="idle", iteration=iteration)
 
 
 def gather(
@@ -59,10 +72,10 @@ def gather(
     if proc.rank == root:
         values: dict[int, Any] = {root: value}
         for _ in range(size - 1):
-            msg = yield from proc.recv(tag=("gather", tag), iteration=iteration)
+            msg = yield from proc.recv(tag=(GATHER, tag), iteration=iteration)
             values[msg.src] = msg.payload
         return [values[r] for r in range(size)]
-    proc.send(root, value, tag=("gather", tag), nbytes=nbytes)
+    proc.send(root, value, tag=(GATHER, tag), nbytes=nbytes)
     return None
 
 
@@ -78,9 +91,9 @@ def broadcast(
     if proc.rank == root:
         for dst in range(proc.cluster.size):
             if dst != root:
-                proc.send(dst, value, tag=("bcast", tag), nbytes=nbytes)
+                proc.send(dst, value, tag=(BCAST, tag), nbytes=nbytes)
         return value
-    msg = yield from proc.recv(src=root, tag=("bcast", tag), iteration=iteration)
+    msg = yield from proc.recv(src=root, tag=(BCAST, tag), iteration=iteration)
     return msg.payload
 
 
@@ -100,9 +113,9 @@ def allgather(
     values: dict[int, Any] = {proc.rank: value}
     for dst in range(size):
         if dst != proc.rank:
-            proc.send(dst, value, tag=("allgather", tag), nbytes=nbytes)
+            proc.send(dst, value, tag=(ALLGATHER, tag), nbytes=nbytes)
     for _ in range(size - 1):
-        msg = yield from proc.recv(tag=("allgather", tag), iteration=iteration)
+        msg = yield from proc.recv(tag=(ALLGATHER, tag), iteration=iteration)
         values[msg.src] = msg.payload
     return [values[r] for r in range(size)]
 
@@ -120,7 +133,7 @@ def reduce(
 
     Returns the folded value on ``root`` and None elsewhere.
     """
-    values = yield from gather(proc, value, tag=("reduce", tag), root=root,
+    values = yield from gather(proc, value, tag=(REDUCE, tag), root=root,
                                nbytes=nbytes, iteration=iteration)
     if values is None:
         return None
@@ -139,8 +152,8 @@ def allreduce(
     iteration: Optional[int] = None,
 ) -> Generator:
     """Reduce at rank 0, then broadcast the result to everyone."""
-    folded = yield from reduce(proc, value, op, tag=("allreduce", tag),
+    folded = yield from reduce(proc, value, op, tag=(ALLREDUCE, tag),
                                nbytes=nbytes, iteration=iteration)
-    result = yield from broadcast(proc, folded, tag=("allreduce-out", tag),
+    result = yield from broadcast(proc, folded, tag=(ALLREDUCE_OUT, tag),
                                   nbytes=nbytes, iteration=iteration)
     return result

@@ -90,6 +90,11 @@ class VirtualProcessor:
         if seconds > 0:
             yield self.env.timeout(seconds)
         self.trace.record(phase, start, self.env.now, iteration)
+        if self.env.sanitizer is not None:
+            self.env.sanitizer.note(
+                f"rank {self.rank}: {phase} t={iteration} "
+                f"[{start:.6g}, {self.env.now:.6g}]"
+            )
 
     # ----------------------------------------------------------- messaging
     def send(
@@ -161,6 +166,11 @@ class VirtualProcessor:
         )
         self.trace.record(phase, start, self.env.now, iteration)
         self.recv_count += 1
+        if self.env.sanitizer is not None:
+            self.env.sanitizer.note(
+                f"rank {self.rank}: recv src={msg.src} tag={msg.tag!r} "
+                f"blocked [{start:.6g}, {self.env.now:.6g}]"
+            )
         return msg
 
     def try_recv(self, src: Optional[int] = None, tag: Hashable = None) -> Optional[Message]:

@@ -1,0 +1,12 @@
+"""Fixture: SPL002 — blocking receive inside a speculative arm."""
+
+
+def step(proc, fw, speculator, t):
+    def body():
+        if fw >= 1:
+            msg = yield from proc.recv(match=None)   # SPL002: blocks in spec path
+        else:
+            msg = yield from proc.recv(match=None)   # fine: blocking arm
+        return msg
+
+    return body

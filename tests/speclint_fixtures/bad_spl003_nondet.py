@@ -1,0 +1,20 @@
+"""Fixture: SPL003 — nondeterministic entropy sources in protocol code."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def jitter_delay(base):
+    wall = time.time()                   # SPL003: wall clock
+    noise = random.random()              # SPL003: global random module
+    salt = os.urandom(4)                 # SPL003: OS entropy
+    legacy = np.random.rand()            # SPL003: legacy numpy global RNG
+    return base + wall + noise + len(salt) + legacy
+
+
+def seeded_delay(base, rng):
+    # Injected numpy Generator: allowed.
+    return base + rng.normal(0.0, 0.1)

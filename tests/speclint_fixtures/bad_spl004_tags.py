@@ -1,0 +1,14 @@
+"""Fixture: SPL004 — message-tag discipline violations."""
+
+VARS = "vars"
+
+
+def exchange(proc, payload, t):
+    def body():
+        proc.send(1, payload, tag="vars")          # SPL004: raw string tag
+        proc.send(1, payload, tag=(VARS, t, 0))    # SPL004: not a 2-tuple
+        proc.send(1, payload, tag=("vars", t))     # SPL004: inline literal family
+        proc.send(1, payload, tag=(VARS, t))       # fine: declared family
+        yield from proc.recv(match=None)
+
+    return body

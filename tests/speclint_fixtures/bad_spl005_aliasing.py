@@ -1,0 +1,13 @@
+"""Fixture: SPL005 — sending a mutable payload, then mutating it."""
+
+VARS = "vars"
+
+
+def leak(proc, block, t):
+    def body():
+        proc.send(1, block, tag=(VARS, t))
+        yield from proc.compute(1.0)
+        block += 1.0        # SPL005: mutates the already-sent array in place
+        block[0] = 0.0      # SPL005: ditto, subscript store
+
+    return body

@@ -1,0 +1,22 @@
+"""Fixture: SPL006 — exception handling that swallows protocol control flow."""
+
+
+def rank_program(env, proc):
+    def body():
+        try:
+            yield from proc.compute(1.0)
+        except Exception:       # SPL006: swallows Interrupt in a generator
+            pass
+        try:
+            yield from proc.recv(match=None)
+        except:                 # SPL006: bare except
+            pass
+
+    return body
+
+
+def helper(fn):
+    try:
+        return fn()
+    except Exception:           # SPL006: no re-raise, traceback discarded
+        return None

@@ -1,0 +1,22 @@
+"""Fixture: a protocol body speclint should accept without diagnostics."""
+
+from repro.des.errors import Interrupt
+
+VARS = "vars"
+
+
+def rank_program(env, proc, program, rng):
+    def body():
+        block = program.initial_block(0)
+        for t in range(program.iterations):
+            proc.send(1, block, tag=(VARS, t))
+            delay = float(rng.normal(1.0, 0.1))
+            yield from proc.compute(abs(delay))
+            msg = yield from proc.recv(match=None)
+            try:
+                block = program.compute(0, {1: msg.payload}, t)
+            except Interrupt:
+                raise
+        return block
+
+    return body

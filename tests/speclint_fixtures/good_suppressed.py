@@ -1,0 +1,12 @@
+"""Fixture: violations present but silenced by suppression directives."""
+# speclint: disable-file=SPL003
+
+import time
+
+
+def stamped():
+    return time.time()  # file-wide SPL003 suppression covers this
+
+
+def fire_and_forget(env):
+    env.timeout(1.0)  # speclint: disable=SPL001

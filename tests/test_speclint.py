@@ -1,0 +1,252 @@
+"""Tests for the speclint static-analysis pass (rules SPL001..SPL006).
+
+Each rule is exercised twice: against a ``bad_*`` fixture that must
+fire at known lines, and against the ``good_*`` fixtures that must stay
+silent.  The fixtures live in ``tests/speclint_fixtures/`` and are
+deliberately *not* collected by pytest (``python_files = test_*.py``)
+nor linted by ruff (excluded in pyproject.toml): they exist only as
+lint input.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    Severity,
+    all_rule_codes,
+    collect_suppressions,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    render,
+    render_json,
+    render_text,
+)
+from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FIXTURES = pathlib.Path(__file__).resolve().parent / "speclint_fixtures"
+
+
+def lint_fixture(name):
+    path = FIXTURES / name
+    return lint_source(path.read_text(), path=str(path))
+
+
+def codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+# ------------------------------------------------------------ rule registry
+def test_registry_has_all_six_rules():
+    assert all_rule_codes() == ["SPL001", "SPL002", "SPL003", "SPL004", "SPL005", "SPL006"]
+    for code, rule in RULES.items():
+        assert rule.code == code
+        assert rule.summary
+        assert rule.severity in (Severity.ERROR, Severity.WARNING)
+
+
+# ------------------------------------------------------------ per-rule firing
+def test_spl001_unawaited_simulation_calls():
+    diags = lint_fixture("bad_spl001_unawaited.py")
+    assert codes(diags) == ["SPL001"]
+    assert sorted(d.line for d in diags) == [10, 11, 12]
+
+
+def test_spl001_silent_on_driven_generators():
+    src = (
+        "def body(env, proc):\n"
+        "    yield from proc.compute(1.0)\n"
+        "    msg = yield from proc.recv(match=None)\n"
+        "    yield env.timeout(2.0)\n"
+        "    return msg\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_spl002_blocking_recv_in_spec_branch():
+    diags = lint_fixture("bad_spl002_blocking_spec.py")
+    assert codes(diags) == ["SPL002"]
+    # Only the speculative arm fires; the blocking (else) arm is fine.
+    assert [d.line for d in diags] == [7]
+
+
+def test_spl003_nondeterminism_sources():
+    diags = lint_fixture("bad_spl003_nondet.py")
+    assert codes(diags) == ["SPL003"]
+    assert sorted(d.line for d in diags) == [11, 12, 13, 14]
+    # The injected-Generator function must not be flagged.
+    assert all(d.line < 18 for d in diags)
+
+
+def test_spl003_allows_default_rng():
+    src = (
+        "import numpy as np\n"
+        "def make(seed):\n"
+        "    return np.random.default_rng(seed)\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_spl004_tag_discipline():
+    diags = lint_fixture("bad_spl004_tags.py")
+    assert codes(diags) == ["SPL004"]
+    assert sorted(d.line for d in diags) == [8, 9, 10]
+
+
+def test_spl005_payload_aliasing_is_warning():
+    diags = lint_fixture("bad_spl005_aliasing.py")
+    assert codes(diags) == ["SPL005"]
+    assert all(d.severity is Severity.WARNING for d in diags)
+
+
+def test_spl005_silent_when_copy_is_sent():
+    src = (
+        "VARS = 'vars'\n"
+        "def body(proc, block, t):\n"
+        "    proc.send(1, block.copy(), tag=(VARS, t))\n"
+        "    yield from proc.compute(1.0)\n"
+        "    block += 1.0\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_spl006_broad_and_bare_excepts():
+    diags = lint_fixture("bad_spl006_broad_except.py")
+    assert codes(diags) == ["SPL006"]
+    assert sorted(d.line for d in diags) == [8, 12, 21]
+
+
+def test_spl006_allows_reraise_and_traceback_preservation():
+    src = (
+        "import traceback\n"
+        "def a(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except Exception:\n"
+        "        raise\n"
+        "def b(fn, log):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except Exception:\n"
+        "        log(traceback.format_exc())\n"
+        "        return None\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_good_fixture_is_clean():
+    assert lint_fixture("good_protocol.py") == []
+
+
+# ------------------------------------------------------------- suppressions
+def test_line_and_file_suppressions():
+    assert lint_fixture("good_suppressed.py") == []
+
+
+def test_collect_suppressions_parses_both_directives():
+    src = (
+        "# speclint: disable-file=SPL003\n"
+        "x = 1  # speclint: disable=SPL001,SPL004\n"
+        "y = 2  # speclint: disable=all\n"
+    )
+    per_line, file_wide = collect_suppressions(src)
+    assert file_wide == {"SPL003"}
+    assert per_line[2] == {"SPL001", "SPL004"}
+    # Codes are normalised to upper-case, including the wildcard.
+    assert per_line[3] == {"ALL"}
+
+
+def test_disable_all_wildcard_suppresses_everything():
+    src = "def f(env):\n    env.timeout(1.0)  # speclint: disable=all\n"
+    assert lint_source(src) == []
+
+
+def test_select_restricts_rules():
+    path = FIXTURES / "bad_spl001_unawaited.py"
+    source = path.read_text()
+    assert lint_source(source, select=["SPL002"]) == []
+    assert codes(lint_source(source, select=["SPL001"])) == ["SPL001"]
+
+
+def test_syntax_error_reports_spl000():
+    diags = lint_source("def broken(:\n")
+    assert [d.code for d in diags] == ["SPL000"]
+
+
+# ---------------------------------------------------------------- reporters
+def test_text_reporter_clean_and_dirty():
+    assert render_text([]) == "speclint: clean"
+    diags = lint_fixture("bad_spl001_unawaited.py")
+    text = render_text(diags)
+    assert "SPL001" in text and "error(s)" in text
+
+
+def test_json_reporter_shape():
+    diags = lint_fixture("bad_spl006_broad_except.py")
+    doc = json.loads(render_json(diags))
+    assert doc["tool"] == "speclint"
+    assert set(doc["summary"]) == {"total", "errors", "warnings"}
+    assert doc["summary"]["total"] == len(diags)
+    assert doc["summary"]["errors"] + doc["summary"]["warnings"] == len(diags)
+    for code in all_rule_codes():
+        assert code in doc["rules"]
+    for record in doc["diagnostics"]:
+        assert set(record) == {"path", "line", "col", "code", "severity", "message"}
+
+
+def test_render_rejects_unknown_format():
+    with pytest.raises(ValueError):
+        render([], fmt="xml")
+
+
+# -------------------------------------------------------------------- files
+def test_iter_python_files_skips_caches(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "mod.cpython-311.py").write_text("x = 1\n")
+    files = iter_python_files([tmp_path])
+    assert [f.name for f in files] == ["mod.py"]
+
+
+def test_lint_paths_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        lint_paths([str(FIXTURES / "does_not_exist.py")])
+
+
+# ------------------------------------------------------------------ the CLI
+def test_cli_lint_exit_codes(capsys):
+    assert main(["lint", str(FIXTURES / "good_protocol.py")]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert main(["lint", str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    assert "SPL001" in out and "SPL006" in out
+
+
+def test_cli_lint_json_format(capsys):
+    assert main(["lint", str(FIXTURES / "bad_spl003_nondet.py"), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["errors"] == 4
+
+
+def test_cli_lint_missing_path_is_usage_error(capsys):
+    assert main(["lint", str(FIXTURES / "nope.py")]) == 2
+
+
+def test_cli_lint_select(capsys):
+    rc = main(["lint", str(FIXTURES / "bad_spl001_unawaited.py"), "--select", "SPL004"])
+    assert rc == 0
+
+
+# ------------------------------------------------- the tree itself is clean
+def test_repo_tree_is_speclint_clean():
+    """src/, examples/ and benchmarks/ must lint clean — the same gate
+    CI applies.  Fixture files are deliberately not part of this set."""
+    diags = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "examples", REPO_ROOT / "benchmarks"]
+    )
+    assert diags == [], render_text(diags)
