@@ -11,18 +11,52 @@ Two complementary halves:
 * :mod:`repro.analysis.sanitizer` — a runtime
   :class:`ProtocolSanitizer` (opt-in via ``REPRO_SANITIZE=1``) that
   asserts DES and forward-window invariants while a simulation runs.
+* :mod:`repro.analysis.specflow` — the interprocedural half (rules
+  SPF101..SPF111): per-function CFGs + a call graph feed a type-state
+  taint analysis of the speculate→verify→correct state machine and a
+  happens-before race analysis of the message-tag families; findings
+  render as text, JSON or SARIF.  :mod:`repro.analysis.replay` checks
+  the same rules dynamically against a recorded
+  :class:`~repro.trace.events.EventLog` so static findings can be
+  confirmed or refuted (differential analysis).
 
-Entry point: ``repro lint [paths] [--format json] [--sanitize-selftest]``.
+Entry points: ``repro lint [paths] [--format json]
+[--sanitize-selftest]`` and ``repro analyze [paths] [--format
+text|json|sarif] [--trace LOG]``.
 """
 
-from repro.analysis.diagnostics import RULES, Diagnostic, Rule, Severity, all_rule_codes
+from repro.analysis.diagnostics import (
+    RULES,
+    SPF_RULES,
+    Diagnostic,
+    Rule,
+    RuleInfo,
+    Severity,
+    all_rule_codes,
+    all_spf_codes,
+)
 from repro.analysis.linter import (
     collect_suppressions,
     iter_python_files,
     lint_paths,
     lint_source,
 )
+from repro.analysis.replay import (
+    ReplayFinding,
+    ReplayReport,
+    Verdict,
+    cross_reference,
+    replay,
+)
 from repro.analysis.reporters import render, render_json, render_text
+from repro.analysis.sarif import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    render_sarif,
+    write_baseline,
+)
+from repro.analysis.specflow import analyze_paths, analyze_source
 from repro.analysis.sanitizer import (
     ENV_FLAG,
     ProtocolSanitizer,
@@ -34,10 +68,25 @@ from repro.analysis.sanitizer import (
 
 __all__ = [
     "RULES",
+    "SPF_RULES",
     "Diagnostic",
     "Rule",
+    "RuleInfo",
     "Severity",
     "all_rule_codes",
+    "all_spf_codes",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "cross_reference",
+    "fingerprint",
+    "load_baseline",
+    "render_sarif",
+    "replay",
+    "write_baseline",
+    "ReplayFinding",
+    "ReplayReport",
+    "Verdict",
     "collect_suppressions",
     "iter_python_files",
     "lint_paths",

@@ -77,6 +77,42 @@ class Rule:
 RULES: dict[str, Rule] = {}
 
 
+@dataclass(frozen=True)
+class RuleInfo:
+    """Metadata for a specflow (SPF1xx) rule.
+
+    Unlike speclint's :class:`Rule`, specflow rules are whole-program
+    analyses driven by :mod:`repro.analysis.specflow`, not per-module
+    callables — the registry records the catalogue (code, severity,
+    summary) that reporters, SARIF output and the docs enumerate.
+    """
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+
+
+#: specflow rule catalogue, keyed by code (SPF101..SPF111).
+SPF_RULES: dict[str, RuleInfo] = {}
+
+
+def register_spf_rule(
+    code: str, name: str, severity: Severity, summary: str
+) -> RuleInfo:
+    """Register one specflow rule's metadata (idempotence is an error)."""
+    if code in SPF_RULES:  # pragma: no cover - programming error
+        raise ValueError(f"duplicate specflow rule code {code}")
+    info = RuleInfo(code=code, name=name, severity=severity, summary=summary)
+    SPF_RULES[code] = info
+    return info
+
+
+def all_spf_codes() -> list[str]:
+    """Sorted list of registered specflow rule codes."""
+    return sorted(SPF_RULES)
+
+
 def register_rule(
     code: str, name: str, severity: Severity, summary: str
 ) -> Callable[[RuleFn], RuleFn]:

@@ -9,6 +9,10 @@ Suppression syntax (checked per physical line of the diagnostic):
     Anywhere in the file: suppress the listed rule(s) for the whole
     file (used e.g. by wall-clock backends that legitimately read the
     real clock).
+
+The same directives spelled ``# specflow: ...`` are honoured too, so
+SPF1xx suppressions read naturally next to the tool that emits them;
+both spellings suppress both rule families (codes disambiguate).
 """
 
 from __future__ import annotations
@@ -23,8 +27,12 @@ from repro.analysis.diagnostics import RULES, Diagnostic, Severity
 # Import for the side effect of registering the rules.
 from repro.analysis import rules as _rules  # noqa: F401
 
-_LINE_DIRECTIVE = re.compile(r"#\s*speclint:\s*disable=([A-Za-z0-9_,\s]+)")
-_FILE_DIRECTIVE = re.compile(r"#\s*speclint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+_LINE_DIRECTIVE = re.compile(
+    r"#\s*spec(?:lint|flow):\s*disable=([A-Za-z0-9_,\s]+)"
+)
+_FILE_DIRECTIVE = re.compile(
+    r"#\s*spec(?:lint|flow):\s*disable-file=([A-Za-z0-9_,\s]+)"
+)
 
 #: Directories never descended into during discovery.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})

@@ -1,0 +1,404 @@
+"""Trace replay: check recorded runs against the protocol HB model.
+
+The static half of specflow (:mod:`repro.analysis.races`,
+:mod:`repro.analysis.typestate`) reasons about *source sites*; this
+module applies the same happens-before discipline to a *recorded
+execution* — an :class:`~repro.trace.events.EventLog` produced by the
+simulator or the multiprocessing backend.  Each event becomes a node
+in the shared :class:`~repro.analysis.races.HappensBeforeGraph`:
+
+* per-rank program order: ``(rank, seq)`` → ``(rank, seq + 1)``;
+* message order: each send is matched to the receive that consumed it
+  (same ``(src, dst, family, iteration)``, earliest unconsumed first)
+  and contributes a cross-rank edge.
+
+On top of the dynamic graph the replay runs the *dynamic mirrors* of
+the SPF rules (same codes, so a static finding and its runtime
+witness line up):
+
+* **SPF101** — a speculation never verified before the run ended;
+* **SPF102** — a speculation whose source iteration lags the rank's
+  compute frontier by more than the backward window;
+* **SPF103** — corrections applied in descending iteration order;
+* **SPF110** — sends never received / receives never fed by a send;
+* **SPF111** — message overtaking: two same-family sends from one
+  rank to one peer received in the opposite order.
+
+Finally :func:`cross_reference` joins a static diagnostic list with a
+replay report: every SPF code is marked *confirmed* (the trace
+exhibits the behaviour), *refuted* (the trace exercised the code's
+behaviour and stayed clean) or *unobserved* (the trace never reached
+it) — the differential-analysis verdict ``repro analyze --trace``
+prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.races import HappensBeforeGraph
+from repro.trace.events import EventLog, TraceEvent
+
+#: Default backward window used by the dynamic SPF102 mirror when the
+#: caller does not pass the run's actual ``--bw``.
+DEFAULT_BACKWARD_WINDOW = 4
+
+
+@dataclass(frozen=True, order=True)
+class ReplayFinding:
+    """One protocol violation witnessed in a recorded trace."""
+
+    code: str          # SPF1xx, aligned with the static rule catalogue
+    rank: int
+    seq: int
+    message: str
+
+    def format_text(self) -> str:
+        return f"trace rank {self.rank} seq {self.seq}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Differential-analysis verdict for one static rule code."""
+
+    code: str
+    status: str        # "confirmed" | "refuted" | "unobserved"
+    detail: str
+
+    def format_text(self) -> str:
+        return f"{self.code}: {self.status} — {self.detail}"
+
+
+@dataclass
+class ReplayReport:
+    """Everything the trace replay learned from one event log."""
+
+    graph: HappensBeforeGraph
+    findings: list[ReplayFinding] = field(default_factory=list)
+    matched_messages: int = 0
+    unmatched_sends: int = 0
+    unmatched_recvs: int = 0
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def codes(self) -> set[str]:
+        return {f.code for f in self.findings}
+
+
+def event_key(ev: TraceEvent) -> tuple[int, int]:
+    """Graph-node identity of one event: ``(rank, seq)``."""
+    return (ev.rank, ev.seq)
+
+
+# --------------------------------------------------------------------------
+# dynamic happens-before construction
+# --------------------------------------------------------------------------
+
+
+def match_messages(
+    log: EventLog,
+) -> tuple[list[tuple[TraceEvent, TraceEvent]], list[TraceEvent], list[TraceEvent]]:
+    """Pair each send with the receive that consumed it.
+
+    Matching key is ``(src, dst, family, iteration)``; within a key,
+    sends and receives pair FIFO (the transports preserve per-pair
+    order, and the iteration sub-tag disambiguates the rest).  Returns
+    ``(pairs, unmatched_sends, unmatched_recvs)``.
+    """
+    pending: dict[
+        tuple[int, Optional[int], Optional[str], Optional[int]],
+        list[TraceEvent],
+    ] = {}
+    for ev in log.of_kind("send"):
+        key = (ev.rank, ev.peer, ev.family, ev.iteration)
+        pending.setdefault(key, []).append(ev)
+    pairs: list[tuple[TraceEvent, TraceEvent]] = []
+    unmatched_recvs: list[TraceEvent] = []
+    for ev in log.of_kind("recv"):
+        key = (
+            ev.peer if ev.peer is not None else -1,
+            ev.rank,
+            ev.family,
+            ev.iteration,
+        )
+        queue = pending.get(key)
+        if queue:
+            pairs.append((queue.pop(0), ev))
+        else:
+            unmatched_recvs.append(ev)
+    unmatched_sends = [ev for queue in pending.values() for ev in queue]
+    return pairs, sorted(unmatched_sends), unmatched_recvs
+
+
+def build_dynamic_hb(
+    log: EventLog,
+) -> tuple[HappensBeforeGraph, ReplayReport]:
+    """The dynamic HB graph of one recorded run (plus match stats)."""
+    graph = HappensBeforeGraph()
+    for rank in log.ranks():
+        events = log.for_rank(rank)
+        for ev in events:
+            graph.add_node(event_key(ev))
+        for prev, nxt in zip(events, events[1:]):
+            graph.add_edge(event_key(prev), event_key(nxt))
+    pairs, unmatched_sends, unmatched_recvs = match_messages(log)
+    for send, recv in pairs:
+        graph.add_edge(event_key(send), event_key(recv))
+    report = ReplayReport(
+        graph=graph,
+        matched_messages=len(pairs),
+        unmatched_sends=len(unmatched_sends),
+        unmatched_recvs=len(unmatched_recvs),
+    )
+    return graph, report
+
+
+# --------------------------------------------------------------------------
+# dynamic rule mirrors
+# --------------------------------------------------------------------------
+
+
+def _check_unverified_speculations(log: EventLog) -> Iterator[ReplayFinding]:
+    """SPF101 mirror: speculate events never followed by verify/correct."""
+    for rank in log.ranks():
+        events = log.for_rank(rank)
+        open_specs: dict[tuple[Optional[int], Optional[int]], TraceEvent] = {}
+        for ev in events:
+            key = (ev.peer, ev.iteration)
+            if ev.kind == "speculate":
+                open_specs[key] = ev
+            elif ev.kind in ("verify", "correct"):
+                open_specs.pop(key, None)
+        for ev in sorted(open_specs.values()):
+            yield ReplayFinding(
+                code="SPF101",
+                rank=ev.rank,
+                seq=ev.seq,
+                message=(
+                    f"speculated input from rank {ev.peer} for iteration "
+                    f"{ev.iteration} was never verified before the run "
+                    "ended; its effects committed unchecked"
+                ),
+            )
+
+
+def _check_stale_speculations(
+    log: EventLog, backward_window: int
+) -> Iterator[ReplayFinding]:
+    """SPF102 mirror: speculation source older than the backward window."""
+    for rank in log.ranks():
+        frontier: Optional[int] = None  # latest compute iteration seen
+        for ev in log.for_rank(rank):
+            if ev.kind == "compute" and ev.iteration is not None:
+                if frontier is None or ev.iteration > frontier:
+                    frontier = ev.iteration
+            elif (
+                ev.kind == "speculate"
+                and ev.iteration is not None
+                and frontier is not None
+                and frontier - ev.iteration > backward_window
+            ):
+                yield ReplayFinding(
+                    code="SPF102",
+                    rank=ev.rank,
+                    seq=ev.seq,
+                    message=(
+                        f"speculation for iteration {ev.iteration} ran while "
+                        f"the compute frontier was at {frontier} — "
+                        f"{frontier - ev.iteration} iterations back, beyond "
+                        f"the backward window of {backward_window}"
+                    ),
+                )
+
+
+def _check_correction_order(log: EventLog) -> Iterator[ReplayFinding]:
+    """SPF103 mirror: a correction cascade applied in descending order."""
+    for rank in log.ranks():
+        prev: Optional[TraceEvent] = None
+        for ev in log.for_rank(rank):
+            if ev.kind != "correct":
+                prev = None if ev.kind == "verify" else prev
+                continue
+            if (
+                prev is not None
+                and prev.iteration is not None
+                and ev.iteration is not None
+                and ev.iteration < prev.iteration
+            ):
+                yield ReplayFinding(
+                    code="SPF103",
+                    rank=ev.rank,
+                    seq=ev.seq,
+                    message=(
+                        f"correction for iteration {ev.iteration} applied "
+                        f"after the correction for {prev.iteration}; the "
+                        "cascade must repair oldest-first or later repairs "
+                        "recompute from unrepaired state"
+                    ),
+                )
+            prev = ev
+
+
+def _check_unmatched_messages(
+    log: EventLog, report: ReplayReport
+) -> Iterator[ReplayFinding]:
+    """SPF110 mirror: sends never consumed / receives never fed."""
+    pairs, unmatched_sends, unmatched_recvs = match_messages(log)
+    del pairs
+    for ev in unmatched_sends:
+        yield ReplayFinding(
+            code="SPF110",
+            rank=ev.rank,
+            seq=ev.seq,
+            message=(
+                f"send to rank {ev.peer} (family {ev.family!r}, iteration "
+                f"{ev.iteration}) was never received; the message leaked"
+            ),
+        )
+    for ev in unmatched_recvs:
+        yield ReplayFinding(
+            code="SPF110",
+            rank=ev.rank,
+            seq=ev.seq,
+            message=(
+                f"receive from rank {ev.peer} (family {ev.family!r}, "
+                f"iteration {ev.iteration}) matches no recorded send"
+            ),
+        )
+
+
+def _check_message_overtaking(log: EventLog) -> Iterator[ReplayFinding]:
+    """SPF111 mirror: same-channel messages received out of send order."""
+    pairs, _, _ = match_messages(log)
+    by_channel: dict[
+        tuple[int, int, Optional[str]], list[tuple[TraceEvent, TraceEvent]]
+    ] = {}
+    for send, recv in pairs:
+        channel = (send.rank, recv.rank, send.family)
+        by_channel.setdefault(channel, []).append((send, recv))
+    for channel, channel_pairs in sorted(
+        by_channel.items(), key=lambda item: (item[0][0], item[0][1])
+    ):
+        channel_pairs.sort(key=lambda pair: pair[0].seq)
+        for (send_a, recv_a), (send_b, recv_b) in zip(
+            channel_pairs, channel_pairs[1:]
+        ):
+            if recv_b.seq < recv_a.seq:
+                yield ReplayFinding(
+                    code="SPF111",
+                    rank=recv_b.rank,
+                    seq=recv_b.seq,
+                    message=(
+                        f"message (family {send_b.family!r}, iteration "
+                        f"{send_b.iteration}) from rank {send_b.rank} "
+                        f"overtook the earlier send for iteration "
+                        f"{send_a.iteration}; receives observed delivery "
+                        "order, not send order"
+                    ),
+                )
+
+
+def replay(
+    log: EventLog, backward_window: int = DEFAULT_BACKWARD_WINDOW
+) -> ReplayReport:
+    """Run every dynamic check over ``log`` and collect the findings."""
+    graph, report = build_dynamic_hb(log)
+    findings: list[ReplayFinding] = []
+    findings.extend(_check_unverified_speculations(log))
+    findings.extend(_check_stale_speculations(log, backward_window))
+    findings.extend(_check_correction_order(log))
+    findings.extend(_check_unmatched_messages(log, report))
+    findings.extend(_check_message_overtaking(log))
+    report.findings = sorted(findings)
+    report.stats = {
+        "events": len(log),
+        "ranks": len(log.ranks()),
+        "hb_edges": graph.edge_count(),
+        "matched_messages": report.matched_messages,
+        "speculations": len(log.of_kind("speculate")),
+        "verifications": len(log.of_kind("verify")),
+        "corrections": len(log.of_kind("correct")),
+    }
+    return report
+
+
+# --------------------------------------------------------------------------
+# differential analysis: static findings vs the recorded run
+# --------------------------------------------------------------------------
+
+#: What a trace must contain for a code's behaviour to count as
+#: *exercised* (so a clean trace refutes rather than merely not
+#: observing the static finding).
+_EXERCISE_KINDS: dict[str, tuple[str, ...]] = {
+    "SPF101": ("speculate",),
+    "SPF102": ("speculate",),
+    "SPF103": ("correct",),
+    "SPF110": ("send", "recv"),
+    "SPF111": ("send",),
+}
+
+
+def cross_reference(
+    diagnostics: list[Diagnostic],
+    log: EventLog,
+    backward_window: int = DEFAULT_BACKWARD_WINDOW,
+) -> tuple[ReplayReport, list[Verdict]]:
+    """Join static findings with a recorded run.
+
+    For every distinct SPF code among ``diagnostics``:
+
+    * *confirmed* — the replay witnessed the same violation class;
+    * *refuted* — the trace exercised the relevant protocol steps and
+      stayed clean (evidence the static finding is a false positive,
+      or that this input never hits the bad path);
+    * *unobserved* — the trace never exercised those steps, so it says
+      nothing either way.
+    """
+    report = replay(log, backward_window=backward_window)
+    witnessed = report.codes()
+    verdicts: list[Verdict] = []
+    for code in sorted({d.code for d in diagnostics if d.code.startswith("SPF1")}):
+        static_count = sum(1 for d in diagnostics if d.code == code)
+        if code in witnessed:
+            hits = [f for f in report.findings if f.code == code]
+            verdicts.append(
+                Verdict(
+                    code=code,
+                    status="confirmed",
+                    detail=(
+                        f"{static_count} static finding(s); the trace "
+                        f"witnesses {len(hits)} runtime violation(s), e.g. "
+                        f"rank {hits[0].rank} seq {hits[0].seq}"
+                    ),
+                )
+            )
+            continue
+        exercise = _EXERCISE_KINDS.get(code, ())
+        exercised = all(log.of_kind(kind) for kind in exercise) if exercise else False
+        if exercised:
+            verdicts.append(
+                Verdict(
+                    code=code,
+                    status="refuted",
+                    detail=(
+                        f"{static_count} static finding(s), but the trace "
+                        f"exercised {'/'.join(exercise)} events "
+                        f"({', '.join(str(len(log.of_kind(k))) for k in exercise)}"
+                        ") without violating the rule on this input"
+                    ),
+                )
+            )
+        else:
+            verdicts.append(
+                Verdict(
+                    code=code,
+                    status="unobserved",
+                    detail=(
+                        f"{static_count} static finding(s); the trace never "
+                        f"exercised the relevant protocol steps "
+                        f"({'/'.join(exercise) or 'n/a'})"
+                    ),
+                )
+            )
+    return report, verdicts

@@ -5,28 +5,41 @@ from __future__ import annotations
 import json
 from typing import Sequence
 
-from repro.analysis.diagnostics import RULES, Diagnostic, Severity
+from repro.analysis.diagnostics import (
+    RULES,
+    SPF_RULES,
+    Diagnostic,
+    Severity,
+)
 
 
-def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+def render_text(
+    diagnostics: Sequence[Diagnostic], tool: str = "speclint"
+) -> str:
     """One ``path:line:col: CODE [severity] message`` line per finding,
     followed by a summary line."""
     lines = [diag.format_text() for diag in diagnostics]
     errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
     warnings = len(diagnostics) - errors
     if diagnostics:
-        lines.append(f"speclint: {errors} error(s), {warnings} warning(s)")
+        lines.append(f"{tool}: {errors} error(s), {warnings} warning(s)")
     else:
-        lines.append("speclint: clean")
+        lines.append(f"{tool}: clean")
     return "\n".join(lines)
 
 
-def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+def render_json(
+    diagnostics: Sequence[Diagnostic], tool: str = "speclint"
+) -> str:
     """Stable JSON document: summary counts plus one record per finding."""
     errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    catalogue = {code: rule.summary for code, rule in sorted(RULES.items())}
+    catalogue.update(
+        (code, info.summary) for code, info in sorted(SPF_RULES.items())
+    )
     payload = {
-        "tool": "speclint",
-        "rules": {code: rule.summary for code, rule in sorted(RULES.items())},
+        "tool": tool,
+        "rules": catalogue,
         "summary": {
             "total": len(diagnostics),
             "errors": errors,
@@ -37,10 +50,14 @@ def render_json(diagnostics: Sequence[Diagnostic]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def render(diagnostics: Sequence[Diagnostic], fmt: str = "text") -> str:
+def render(
+    diagnostics: Sequence[Diagnostic],
+    fmt: str = "text",
+    tool: str = "speclint",
+) -> str:
     """Render in the requested format (``text`` or ``json``)."""
     if fmt == "json":
-        return render_json(diagnostics)
+        return render_json(diagnostics, tool)
     if fmt == "text":
-        return render_text(diagnostics)
+        return render_text(diagnostics, tool)
     raise ValueError(f"unknown speclint output format {fmt!r}")

@@ -434,15 +434,71 @@ def check_spl004(tree: ast.Module, path: str, source: str) -> Iterator[Diagnosti
 # --------------------------------------------------------------------------
 
 
+def _mutates_name(node: ast.AST, name: str) -> bool:
+    """Does ``node`` mutate the object bound to ``name`` in place?"""
+    if isinstance(node, ast.Assign):
+        return any(
+            isinstance(t, ast.Subscript)
+            and isinstance(t.value, ast.Name)
+            and t.value.id == name
+            for t in node.targets
+        )
+    if isinstance(node, ast.AugAssign):
+        target = node.target
+        return (isinstance(target, ast.Name) and target.id == name) or (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == name
+        )
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return (
+            node.func.attr in ARRAY_MUTATORS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        )
+    return False
+
+
+def _nested_defs(func: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Function definitions nested (at any depth) inside ``func``."""
+    for node in ast.walk(func):
+        if node is not func and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            yield node
+
+
+def _rebinds_param(func: ast.FunctionDef | ast.AsyncFunctionDef, name: str) -> bool:
+    """Is ``name`` one of ``func``'s parameters (shadowing the closure)?"""
+    args = func.args
+    params = [
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+    ]
+    if args.vararg is not None:
+        params.append(args.vararg)
+    if args.kwarg is not None:
+        params.append(args.kwarg)
+    return any(a.arg == name for a in params)
+
+
 @register_rule(
     "SPL005",
     "mutable-payload-aliasing",
     Severity.WARNING,
-    "array sent by reference is mutated later in the same function; "
-    "the receiver may observe the mutation (send a copy)",
+    "array sent by reference is mutated later in the same function "
+    "(or by a closure defined in it); the receiver may observe the "
+    "mutation (send a copy)",
 )
 def check_spl005(tree: ast.Module, path: str, source: str) -> Iterator[Diagnostic]:
-    """Zero-copy simulated sends alias sender memory; late writes race."""
+    """Zero-copy simulated sends alias sender memory; late writes race.
+
+    Two mutation channels are checked: statements of the sending
+    function *after* the send, and nested functions (closures) that
+    capture the payload name — a callback mutating a captured array
+    races with the receiver no matter where its ``def`` sits, because
+    the call happens later.  Closures whose parameter list rebinds the
+    name do not capture it and are exempt.
+    """
     for func in iter_functions(tree):
         sends: list[tuple[str, ast.Call]] = []
         for node in walk_own_body(func):
@@ -464,34 +520,12 @@ def check_spl005(tree: ast.Module, path: str, source: str) -> Iterator[Diagnosti
         if not sends:
             continue
         for name, call in sends:
+            flagged = False
             for node in walk_own_body(func):
                 line = getattr(node, "lineno", 0)
                 if line <= call.lineno:
                     continue
-                mutated = False
-                if isinstance(node, ast.Assign):
-                    mutated = any(
-                        isinstance(t, ast.Subscript)
-                        and isinstance(t.value, ast.Name)
-                        and t.value.id == name
-                        for t in node.targets
-                    )
-                elif isinstance(node, ast.AugAssign):
-                    target = node.target
-                    mutated = (
-                        isinstance(target, ast.Name) and target.id == name
-                    ) or (
-                        isinstance(target, ast.Subscript)
-                        and isinstance(target.value, ast.Name)
-                        and target.value.id == name
-                    )
-                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-                    mutated = (
-                        node.func.attr in ARRAY_MUTATORS
-                        and isinstance(node.func.value, ast.Name)
-                        and node.func.value.id == name
-                    )
-                if mutated:
+                if _mutates_name(node, name):
                     yield _diag(
                         path,
                         call,
@@ -500,6 +534,29 @@ def check_spl005(tree: ast.Module, path: str, source: str) -> Iterator[Diagnosti
                         f"payload `{name}` is sent by reference but mutated at "
                         f"line {line}; send `{name}.copy()` (simulated sends "
                         "are zero-copy aliases)",
+                    )
+                    flagged = True
+                    break
+            if flagged:
+                continue
+            for nested in _nested_defs(func):
+                if _rebinds_param(nested, name):
+                    continue
+                hit = next(
+                    (n for n in ast.walk(nested) if _mutates_name(n, name)),
+                    None,
+                )
+                if hit is not None:
+                    yield _diag(
+                        path,
+                        call,
+                        "SPL005",
+                        Severity.WARNING,
+                        f"payload `{name}` is sent by reference and mutated "
+                        f"by nested function `{nested.name}` (line "
+                        f"{getattr(hit, 'lineno', nested.lineno)}); the "
+                        "closure runs after the send, so the receiver can "
+                        f"observe the write — send `{name}.copy()`",
                     )
                     break
 

@@ -1,0 +1,163 @@
+"""SARIF 2.1.0 output and fingerprint baselines for speclint/specflow.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua
+franca code-scanning UIs ingest; emitting it lets CI upload specflow
+findings next to any other analyser's.  The document this module
+produces is deliberately minimal but valid: one ``run``, the rule
+catalogue under ``tool.driver.rules``, one ``result`` per
+:class:`~repro.analysis.diagnostics.Diagnostic`.
+
+Baselines ride on the same machinery.  Every diagnostic gets a
+*fingerprint* — a stable hash of ``path::code::message`` that survives
+unrelated edits moving the finding a few lines — recorded both in the
+SARIF ``partialFingerprints`` and in the plain-JSON baseline file CI
+checks in.  ``repro analyze --baseline FILE`` drops findings whose
+fingerprint the baseline already contains, so the gate only fails on
+*new* findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.diagnostics import RULES, SPF_RULES, Diagnostic, Severity
+
+#: SARIF schema pinned by this writer.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _canonical_path(path: str) -> str:
+    """Project-relative POSIX form of a diagnostic path.
+
+    Absolute paths are relativised against the working directory when
+    possible so a baseline written by ``repro analyze src/`` in CI
+    matches an in-process run that passed absolute paths.
+    """
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:  # outside the tree: keep absolute
+            pass
+    return p.as_posix()
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Stable identity of a finding: hash of ``path::code::message``.
+
+    Line/column are deliberately excluded so a baseline survives
+    unrelated edits above the finding; rule messages are written
+    without embedded line numbers for the same reason.
+    """
+    payload = f"{_canonical_path(diag.path)}::{diag.code}::{diag.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def _rule_catalogue() -> list[dict[str, object]]:
+    """SARIF rule metadata for every registered SPL + SPF rule."""
+    rules: list[dict[str, object]] = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        rules.append(
+            {
+                "id": code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+            }
+        )
+    for code in sorted(SPF_RULES):
+        info = SPF_RULES[code]
+        rules.append(
+            {
+                "id": code,
+                "name": info.name,
+                "shortDescription": {"text": info.summary},
+                "defaultConfiguration": {"level": _LEVELS[info.severity]},
+            }
+        )
+    return rules
+
+
+def _result(diag: Diagnostic) -> dict[str, object]:
+    return {
+        "ruleId": diag.code,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": diag.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.path.replace("\\", "/")},
+                    "region": {
+                        "startLine": max(diag.line, 1),
+                        "startColumn": max(diag.col, 0) + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"speclint/v1": fingerprint(diag)},
+    }
+
+
+def render_sarif(
+    diagnostics: list[Diagnostic], tool_name: str = "specflow"
+) -> str:
+    """One SARIF 2.1.0 document (pretty-printed JSON) for ``diagnostics``."""
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": (
+                            "https://github.com/repro/speculative-computation"
+                        ),
+                        "rules": _rule_catalogue(),
+                    }
+                },
+                "results": [_result(d) for d in sorted(diagnostics)],
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+# --------------------------------------------------------------------------
+# baselines
+# --------------------------------------------------------------------------
+
+
+def write_baseline(diagnostics: list[Diagnostic], path: str | Path) -> int:
+    """Record the fingerprints of ``diagnostics`` as the accepted set."""
+    prints = sorted({fingerprint(d) for d in diagnostics})
+    payload = {"version": 1, "fingerprints": prints}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(prints)
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """The fingerprint set a baseline file accepts."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    prints = payload.get("fingerprints", [])
+    if not isinstance(prints, list):  # pragma: no cover - defensive
+        raise ValueError(f"malformed baseline file {path}")
+    return frozenset(str(p) for p in prints)
+
+
+def apply_baseline(
+    diagnostics: list[Diagnostic], accepted: frozenset[str]
+) -> list[Diagnostic]:
+    """Drop findings whose fingerprint the baseline already accepts."""
+    return [d for d in diagnostics if fingerprint(d) not in accepted]

@@ -1,0 +1,133 @@
+"""specflow driver: interprocedural protocol analysis over many files.
+
+Where speclint (:mod:`repro.analysis.linter`) runs syntactic rules one
+module at a time, specflow builds *program-wide* structure first —
+every function's CFG (:mod:`repro.analysis.cfg`), a name-resolved
+call graph, interprocedural taint summaries — and then runs the SPF
+rule families over it:
+
+========  =================================================
+SPF101    unverified speculated value reaches a commit point
+SPF102    untrimmed history container feeds the speculator
+SPF103    correction cascade applied in descending order
+SPF110    orphaned tag family (leak / deadlock)
+SPF111    unordered conflicting sends at an ambiguous receive
+========  =================================================
+
+Entry point: :func:`analyze_paths` (what ``repro analyze`` calls).
+Findings are ordinary :class:`~repro.analysis.diagnostics.Diagnostic`
+records, so the text/JSON reporters, the SARIF writer and the
+suppression directives (``# specflow: disable=SPF101``) all behave
+exactly as they do for speclint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.cfg import CallGraph, ModuleGraphs
+from repro.analysis.diagnostics import SPF_RULES, Diagnostic, Severity
+from repro.analysis.linter import collect_suppressions, iter_python_files
+
+# Imported for the side effect of registering the SPF rule catalogue.
+from repro.analysis import races, typestate  # noqa: F401
+from repro.analysis.races import build_static_hb, check_spf110, check_spf111
+from repro.analysis.typestate import (
+    check_spf101,
+    check_spf102,
+    check_spf103,
+    compute_summaries,
+)
+
+
+def _syntax_diag(path: str, exc: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        code="SPF000",
+        severity=Severity.ERROR,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def _suppressed(
+    diag: Diagnostic, sources: dict[str, str]
+) -> bool:
+    source = sources.get(diag.path)
+    if source is None:
+        return False
+    per_line, file_wide = collect_suppressions(source)
+    codes = per_line.get(diag.line, set()) | file_wide
+    return bool(codes) and (diag.code.upper() in codes or "ALL" in codes)
+
+
+def analyze_modules(
+    modules: list[ModuleGraphs],
+    select: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Run every SPF rule over pre-built module graphs."""
+    wanted = {c.upper() for c in select} if select is not None else None
+
+    def on(code: str) -> bool:
+        return wanted is None or code in wanted
+
+    callgraph = CallGraph(modules)
+    summaries = compute_summaries(callgraph)
+    found: list[Diagnostic] = []
+    for module in modules:
+        if on("SPF101"):
+            found.extend(check_spf101(module, callgraph, summaries))
+        if on("SPF102"):
+            found.extend(check_spf102(module))
+        if on("SPF103"):
+            found.extend(check_spf103(module))
+    if on("SPF110") or on("SPF111"):
+        graph, sites = build_static_hb(modules, callgraph)
+        if on("SPF110"):
+            found.extend(check_spf110(sites))
+        if on("SPF111"):
+            found.extend(check_spf111(graph, sites))
+    sources = {m.path: m.source for m in modules}
+    return sorted(d for d in found if not _suppressed(d, sources))
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Analyse one source text (testing convenience)."""
+    try:
+        module = ModuleGraphs.from_source(source, path=path)
+    except SyntaxError as exc:
+        return [_syntax_diag(path, exc)]
+    return analyze_modules([module], select=select)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    select: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Analyse every ``.py`` file under ``paths`` as one program.
+
+    All parseable files contribute to one shared call graph (that is
+    what makes SPF101 summaries and SPF110 send/recv matching
+    *inter*-procedural); unparseable files each yield an ``SPF000``
+    diagnostic instead of aborting the run.
+    """
+    modules: list[ModuleGraphs] = []
+    syntax_errors: list[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            modules.append(ModuleGraphs.from_source(source, path=str(file_path)))
+        except SyntaxError as exc:
+            syntax_errors.append(_syntax_diag(str(file_path), exc))
+    return sorted(syntax_errors + analyze_modules(modules, select=select))
+
+
+def rule_catalogue() -> dict[str, str]:
+    """``code -> summary`` for every registered SPF rule (docs/CLI)."""
+    return {code: SPF_RULES[code].summary for code in sorted(SPF_RULES)}

@@ -6,11 +6,24 @@ Subcommands
     Show the reproducible artifacts.
 ``repro run fig8 [--out FILE]``
     Regenerate one of the paper's tables/figures and print it.
-``repro nbody --p 8 --fw 1 ...``
-    Run a single N-body experiment with explicit knobs.
+``repro nbody --p 8 --fw 1 [--record-trace FILE] ...``
+    Run a single N-body experiment with explicit knobs; optionally
+    record the protocol event trace for later replay.
 ``repro lint [paths] [--format json] [--sanitize-selftest]``
     Run speclint (the protocol-aware static analyzer) over the given
     files/directories, or self-test the runtime protocol sanitizer.
+``repro analyze [paths] [--format text|json|sarif] [--trace FILE]``
+    Run specflow (interprocedural type-state + happens-before
+    analysis, rules SPF1xx).  ``--baseline``/``--write-baseline``
+    manage the accepted-findings file CI checks in; ``--trace``
+    replays a recorded event log against the same protocol model and
+    reports which static findings the run confirms or refutes.
+
+Exit codes (shared by ``lint`` and ``analyze``)
+-----------------------------------------------
+* ``0`` — clean: no findings (after baseline filtering).
+* ``1`` — findings: at least one diagnostic or replay violation.
+* ``2`` — usage error: bad paths, unreadable trace/baseline files.
 """
 
 from __future__ import annotations
@@ -18,6 +31,11 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Optional, Sequence
+
+#: Shared analysis exit codes (``repro lint`` / ``repro analyze``).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -64,13 +82,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_nbody(args: argparse.Namespace) -> int:
     from repro.harness import run_nbody
 
+    event_log = None
+    if args.record_trace:
+        from repro.trace import EventLog
+
+        event_log = EventLog()
     program, result = run_nbody(
         p=args.p,
         fw=args.fw,
         iterations=args.iterations,
         n_particles=args.particles,
         threshold=args.theta,
+        event_log=event_log,
     )
+    if event_log is not None:
+        event_log.save(args.record_trace)
+        print(f"(trace: {len(event_log)} events written to {args.record_trace})")
     b = result.steady_breakdown() if result.iterations > 1 else result.breakdown()
     print(
         f"p={args.p} FW={args.fw} N={args.particles} T={args.iterations} "
@@ -95,9 +122,74 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         diagnostics = lint_paths(paths, select=args.select)
     except FileNotFoundError as exc:
         print(exc, file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     print(render(diagnostics, args.format))
-    return 1 if diagnostics else 0
+    return EXIT_FINDINGS if diagnostics else EXIT_CLEAN
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        analyze_paths,
+        apply_baseline,
+        load_baseline,
+        render,
+        render_sarif,
+        write_baseline,
+    )
+
+    paths = args.paths or ["src"]
+    try:
+        diagnostics = analyze_paths(paths, select=args.select)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
+    if args.write_baseline:
+        count = write_baseline(diagnostics, args.write_baseline)
+        print(
+            f"specflow: baseline with {count} fingerprint(s) written to "
+            f"{args.write_baseline}"
+        )
+        return EXIT_CLEAN
+    if args.baseline:
+        try:
+            accepted = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"specflow: cannot read baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        diagnostics = apply_baseline(diagnostics, accepted)
+    if args.format == "sarif":
+        print(render_sarif(diagnostics), end="")
+    else:
+        print(render(diagnostics, args.format, tool="specflow"))
+    replay_findings = 0
+    if args.trace:
+        from repro.analysis import cross_reference
+        from repro.trace import EventLog
+
+        try:
+            log = EventLog.load(args.trace)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"specflow: cannot read trace: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        report, verdicts = cross_reference(
+            diagnostics, log, backward_window=args.bw
+        )
+        replay_findings = len(report.findings)
+        out = sys.stdout if args.format == "text" else sys.stderr
+        stats = ", ".join(f"{k}={v}" for k, v in sorted(report.stats.items()))
+        print(f"trace replay: {stats}", file=out)
+        for finding in report.findings:
+            print(finding.format_text(), file=out)
+        for verdict in verdicts:
+            print(verdict.format_text(), file=out)
+        if not verdicts:
+            print(
+                "trace replay: no static SPF findings to cross-reference",
+                file=out,
+            )
+    if diagnostics or replay_findings:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_nb.add_argument("--particles", type=int, default=1000)
     p_nb.add_argument("--iterations", type=int, default=10)
     p_nb.add_argument("--theta", type=float, default=0.01)
+    p_nb.add_argument(
+        "--record-trace",
+        metavar="FILE",
+        help="record the protocol event trace (JSONL) for later "
+        "`repro analyze --trace FILE` replay",
+    )
     p_nb.set_defaults(func=_cmd_nbody)
 
     p_lint = sub.add_parser(
@@ -147,6 +245,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="instead of linting, self-test the runtime protocol sanitizer",
     )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="run specflow (interprocedural type-state + happens-before "
+        "analysis)",
+    )
+    p_an.add_argument(
+        "paths", nargs="*", help="files/directories to analyse (default: src)"
+    )
+    p_an.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format",
+    )
+    p_an.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="only run the given rule (repeatable), e.g. --select SPF101",
+    )
+    p_an.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings whose fingerprints this baseline accepts",
+    )
+    p_an.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as the accepted baseline and exit 0",
+    )
+    p_an.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="replay a recorded event log (JSONL) against the protocol "
+        "model and cross-reference the static findings",
+    )
+    p_an.add_argument(
+        "--bw",
+        type=int,
+        default=4,
+        metavar="N",
+        help="backward window used by the trace replay's staleness check",
+    )
+    p_an.set_defaults(func=_cmd_analyze)
     return parser
 
 

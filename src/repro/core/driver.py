@@ -287,11 +287,20 @@ class SpeculativeDriver:
                     stats.spec_made += 1
                     if san is not None:
                         san.on_speculate(j, k, t)
+                    if self.cluster.event_log is not None:
+                        self.cluster.event_log.record(
+                            "speculate", j, proc.env.now, peer=k,
+                            family=VARS, iteration=t,
+                        )
             st.inputs_used[t] = inputs
 
             # 4. Compute X_j(t+1).
             if san is not None:
                 san.on_compute_begin(j, t, st.verified_upto, st.fw)
+            if self.cluster.event_log is not None:
+                self.cluster.event_log.record(
+                    "compute", j, proc.env.now, iteration=t
+                )
             new_block = prog.compute(j, inputs, t)
             yield from proc.compute(prog.compute_ops(j), phase="compute", iteration=t)
             st.chain[t + 1] = new_block
@@ -358,6 +367,10 @@ class SpeculativeDriver:
 
         if self.sanitizer is not None:
             self.sanitizer.on_verify(j, k, t)
+        if self.cluster.event_log is not None:
+            self.cluster.event_log.record(
+                "verify", j, proc.env.now, peer=k, family=VARS, iteration=t
+            )
         yield from proc.compute(prog.check_ops(j, k), phase="check", iteration=t)
         stats.checks += 1
         own = st.chain[t]
@@ -395,6 +408,10 @@ class SpeculativeDriver:
         yield from proc.compute(ops, phase="correct", iteration=t)
         st.chain[t + 1] = corrected
         stats.recomputes += 1
+        if self.cluster.event_log is not None:
+            self.cluster.event_log.record(
+                "correct", j, proc.env.now, peer=k, family=VARS, iteration=t
+            )
 
         if self.cascade == "none":
             if san is not None:
@@ -405,6 +422,10 @@ class SpeculativeDriver:
         for t2 in range(t + 1, st.frontier):
             if san is not None:
                 san.on_cascade_step(j, t2)
+            if self.cluster.event_log is not None:
+                self.cluster.event_log.record(
+                    "correct", j, proc.env.now, peer=k, family=VARS, iteration=t2
+                )
             inputs2 = st.inputs_used[t2]
             inputs2[j] = st.chain[t2]
             for k2 in sorted(st.needed):

@@ -41,7 +41,7 @@ from repro.perfmodel import (
     section4_params,
 )
 from repro.platforms import two_processor_demo, wustl_1994
-from repro.trace import render_gantt
+from repro.trace import EventLog, render_gantt
 
 #: Shared configuration for the measured N-body experiments.
 HEADLINE: dict[str, Any] = {
@@ -99,11 +99,14 @@ def run_nbody(
     threshold: Optional[float] = None,
     record_force_errors: bool = False,
     config: Optional[dict[str, Any]] = None,
+    event_log: Optional[EventLog] = None,
 ) -> tuple[NBodyProgram, RunResult]:
     """One measured N-body run on the calibrated platform.
 
     Returns the program (whose ``spec_stats`` carry particle-level
-    counters) and the :class:`~repro.core.RunResult`.
+    counters) and the :class:`~repro.core.RunResult`.  Pass an
+    ``event_log`` to record every protocol step (send/recv/speculate/
+    verify/correct) for ``repro analyze --trace`` replay.
     """
     cfg = dict(HEADLINE)
     if config:
@@ -128,7 +131,10 @@ def run_nbody(
         threshold=theta,
         record_force_errors=record_force_errors,
     )
-    result = run_program(program, platform.cluster(), fw=fw, cascade=cfg["cascade"])
+    cluster = platform.cluster()
+    if event_log is not None:
+        cluster.event_log = event_log
+    result = run_program(program, cluster, fw=fw, cascade=cfg["cascade"])
     return program, result
 
 

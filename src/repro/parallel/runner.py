@@ -8,6 +8,7 @@ from typing import Any, Optional
 
 from repro.core.program import SyncIterativeProgram
 from repro.parallel.worker import WorkerReport, worker_main
+from repro.trace.events import EventLog
 
 
 @dataclass
@@ -30,6 +31,20 @@ class MPRunResult:
     final_blocks: dict[int, Any]
     reports: list[WorkerReport]
     fw: int
+
+    def event_log(self) -> EventLog:
+        """Merged protocol trace events from every worker.
+
+        Empty unless the runner was constructed with
+        ``record_events=True``.  Per-worker event times are relative to
+        each worker's protocol start (the post-barrier instant), so
+        cross-rank comparisons should rely on the happens-before
+        structure (``seq`` + message matching), not the clock.
+        """
+        log = EventLog()
+        for report in self.reports:
+            log.extend(report.events)
+        return log
 
     def phase_seconds(self, phase: str, how: str = "max") -> float:
         """Aggregate one phase's wall time over workers."""
@@ -70,6 +85,11 @@ class MPRunner:
     start_method:
         ``multiprocessing`` start method; ``"fork"`` (default on Linux)
         avoids re-importing the world per worker.
+    record_events:
+        Record per-worker protocol trace events
+        (:class:`~repro.trace.events.TraceEvent`), merged afterwards by
+        :meth:`MPRunResult.event_log` — the input for ``repro analyze
+        --trace`` replay.
     """
 
     def __init__(
@@ -80,6 +100,7 @@ class MPRunner:
         jitter: float = 0.0,
         seed: int = 0,
         start_method: Optional[str] = None,
+        record_events: bool = False,
     ) -> None:
         if fw not in (0, 1):
             raise ValueError("the multiprocessing backend supports fw in {0, 1}")
@@ -90,6 +111,7 @@ class MPRunner:
         self.latency = latency
         self.jitter = jitter
         self.seed = seed
+        self.record_events = record_events
         self._ctx = mp.get_context(start_method) if start_method else mp.get_context()
 
     def run(self, timeout: float = 300.0) -> MPRunResult:
@@ -123,6 +145,7 @@ class MPRunner:
                     self.jitter,
                     self.seed,
                     barrier,
+                    self.record_events,
                 ),
                 daemon=True,
             )

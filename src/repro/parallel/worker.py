@@ -22,6 +22,12 @@ from typing import Any, Mapping, Optional
 
 import numpy as np
 
+from repro.trace.events import TraceEvent
+
+#: Tag family used for the protocol's variable exchange (mirrors the
+#: simulator driver's ``VARS`` constant).
+VARS = "vars"
+
 
 @dataclass
 class WorkerReport:
@@ -36,6 +42,9 @@ class WorkerReport:
     recomputes: int = 0
     wall_seconds: float = 0.0
     error: Optional[str] = None
+    #: Protocol trace events (populated when the runner records them);
+    #: times are wall seconds relative to the worker's protocol start.
+    events: list[TraceEvent] = field(default_factory=list)
 
 
 class _Mailbox:
@@ -102,11 +111,13 @@ def worker_main(
     jitter: float,
     seed: int,
     start_barrier: Any,
+    record_events: bool = False,
 ) -> None:
     """Entry point executed inside each worker process."""
     try:
         report = _run_protocol(
-            rank, program, fw, conns, latency, jitter, seed, start_barrier
+            rank, program, fw, conns, latency, jitter, seed, start_barrier,
+            record_events=record_events,
         )
     except (KeyboardInterrupt, SystemExit):  # pragma: no cover - interactive
         # Never convert interpreter-shutdown signals into a report: the
@@ -125,7 +136,8 @@ def worker_main(
     result_conn.close()
 
 
-def _run_protocol(rank, program, fw, conns, latency, jitter, seed, start_barrier):
+def _run_protocol(rank, program, fw, conns, latency, jitter, seed, start_barrier,
+                  record_events=False):
     rng = np.random.default_rng(seed * 1000 + rank)
     timer = _PhaseTimer()
     mailbox = _Mailbox(conns)
@@ -133,11 +145,30 @@ def _run_protocol(rank, program, fw, conns, latency, jitter, seed, start_barrier
     needed = sorted(program.needed(rank))
     audience = [k for k in conns if rank in program.needed(k)]
 
+    events: list[TraceEvent] = []
+    seq = 0
+    t_start = time.monotonic()  # re-stamped after the start barrier
+
+    def emit(kind: str, peer: Optional[int] = None, iteration: Optional[int] = None) -> None:
+        """Record one protocol trace event (no-op unless recording)."""
+        nonlocal seq
+        if not record_events:
+            return
+        events.append(
+            TraceEvent(
+                rank=rank, seq=seq, kind=kind,
+                time=time.monotonic() - t_start,
+                peer=peer, family=VARS, iteration=iteration,
+            )
+        )
+        seq += 1
+
     def send_block(t: int, block: Any) -> None:
         for dst in audience:
             delay = latency
             if jitter > 0:
                 delay *= float(np.exp(rng.normal(0.0, jitter)))
+            emit("send", peer=dst, iteration=t)
             conns[dst].send((time.monotonic() + delay, t, block))
 
     chain = program.initial_block(rank)
@@ -146,7 +177,7 @@ def _run_protocol(rank, program, fw, conns, latency, jitter, seed, start_barrier
     spec_made = spec_accepted = spec_rejected = recomputes = 0
 
     start_barrier.wait()
-    t_start = time.monotonic()
+    t_start = time.monotonic()  # event times are relative to this instant
 
     for t in range(T):
         # Send X_rank(t) (t = 0 is known everywhere).
@@ -159,6 +190,7 @@ def _run_protocol(rank, program, fw, conns, latency, jitter, seed, start_barrier
         for k in needed:
             actual = mailbox.try_take(k, t) if t > 0 else history[k][0][1]
             if t > 0 and actual is not None:
+                emit("recv", peer=k, iteration=t)
                 history[k].append((t, actual))
                 del history[k][:-bw_cap]
             if actual is not None:
@@ -169,17 +201,20 @@ def _run_protocol(rank, program, fw, conns, latency, jitter, seed, start_barrier
                 values = [hv for _, hv in history[k]]
                 spec = program.speculate(rank, k, times, values, t)
                 timer.add("spec", s0)
+                emit("speculate", peer=k, iteration=t)
                 inputs[k] = spec
                 speculated[k] = spec
             else:
                 s0 = time.monotonic()
                 actual = mailbox.take_blocking(k, t)
                 timer.add("comm", s0)
+                emit("recv", peer=k, iteration=t)
                 history[k].append((t, actual))
                 del history[k][:-bw_cap]
                 inputs[k] = actual
 
         # Compute X_rank(t+1).
+        emit("compute", iteration=t)
         s0 = time.monotonic()
         next_block = program.compute(rank, inputs, t)
         timer.add("compute", s0)
@@ -190,8 +225,10 @@ def _run_protocol(rank, program, fw, conns, latency, jitter, seed, start_barrier
             s0 = time.monotonic()
             actual = mailbox.take_blocking(k, t)
             s0 = timer.add("comm", s0)
+            emit("recv", peer=k, iteration=t)
             history[k].append((t, actual))
             del history[k][:-bw_cap]
+            emit("verify", peer=k, iteration=t)
             error = program.check(rank, k, spec, actual, chain)
             s0 = timer.add("check", s0)
             if error > program.threshold:
@@ -200,6 +237,7 @@ def _run_protocol(rank, program, fw, conns, latency, jitter, seed, start_barrier
                 )
                 inputs[k] = actual
                 timer.add("correct", s0)
+                emit("correct", peer=k, iteration=t)
                 spec_rejected += 1
                 recomputes += 1
             else:
@@ -217,4 +255,5 @@ def _run_protocol(rank, program, fw, conns, latency, jitter, seed, start_barrier
         spec_rejected=spec_rejected,
         recomputes=recomputes,
         wall_seconds=wall,
+        events=events,
     )

@@ -7,6 +7,7 @@ aggregators here turn those traces into the paper's artifacts:
 Table 2's per-phase time breakdown and the Fig. 2 / Fig. 4 timelines.
 """
 
+from repro.trace.events import EVENT_KINDS, EventLog, TraceEvent, split_tag
 from repro.trace.gantt import render_gantt
 from repro.trace.phases import (
     PHASES,
@@ -17,10 +18,14 @@ from repro.trace.phases import (
 )
 
 __all__ = [
+    "EVENT_KINDS",
+    "EventLog",
     "Interval",
     "PHASES",
     "PhaseBreakdown",
     "PhaseTrace",
+    "TraceEvent",
     "merge_breakdowns",
     "render_gantt",
+    "split_tag",
 ]

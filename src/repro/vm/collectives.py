@@ -15,13 +15,39 @@ All collectives are generators: use ``yield from`` inside a program::
 Every participating rank must call the same collective with the same
 ``tag``; tags must not be reused across distinct collective calls that
 could be in flight simultaneously.
+
+Payload isolation: simulated point-to-point sends are zero-copy (the
+receiver aliases the sender's object, like PVM within one address
+space), which is why speclint's SPL005 warns about post-send mutation.
+The collectives remove that hazard *by construction*: every value
+handed to :func:`gather`, :func:`broadcast`, :func:`allgather`,
+:func:`reduce` or :func:`allreduce` is deep-copied before it goes on
+the wire, so callers may freely mutate their buffers the moment the
+collective returns.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Generator, Hashable, Optional
 
+import numpy as np
+
 from repro.vm.processor import VirtualProcessor
+
+
+def isolate_payload(value: Any) -> Any:
+    """A mutation-proof copy of ``value`` for sending.
+
+    numpy arrays take the fast ``.copy()`` path; immutable scalars and
+    strings pass through untouched; everything else (lists, dicts,
+    dataclass blocks...) is ``copy.deepcopy``-ed.
+    """
+    if value is None or isinstance(value, (bool, int, float, complex, str, bytes)):
+        return value
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    return copy.deepcopy(value)
 
 
 #: Message-tag families used by the collectives.  Each collective call
@@ -75,7 +101,7 @@ def gather(
             msg = yield from proc.recv(tag=(GATHER, tag), iteration=iteration)
             values[msg.src] = msg.payload
         return [values[r] for r in range(size)]
-    proc.send(root, value, tag=(GATHER, tag), nbytes=nbytes)
+    proc.send(root, isolate_payload(value), tag=(GATHER, tag), nbytes=nbytes)
     return None
 
 
@@ -91,7 +117,7 @@ def broadcast(
     if proc.rank == root:
         for dst in range(proc.cluster.size):
             if dst != root:
-                proc.send(dst, value, tag=(BCAST, tag), nbytes=nbytes)
+                proc.send(dst, isolate_payload(value), tag=(BCAST, tag), nbytes=nbytes)
         return value
     msg = yield from proc.recv(src=root, tag=(BCAST, tag), iteration=iteration)
     return msg.payload
@@ -113,7 +139,7 @@ def allgather(
     values: dict[int, Any] = {proc.rank: value}
     for dst in range(size):
         if dst != proc.rank:
-            proc.send(dst, value, tag=(ALLGATHER, tag), nbytes=nbytes)
+            proc.send(dst, isolate_payload(value), tag=(ALLGATHER, tag), nbytes=nbytes)
     for _ in range(size - 1):
         msg = yield from proc.recv(tag=(ALLGATHER, tag), iteration=iteration)
         values[msg.src] = msg.payload

@@ -32,9 +32,18 @@ def payload_nbytes(payload: Any) -> int:
     return int(sys.getsizeof(payload))
 
 
-@dataclass
+@dataclass(frozen=True)
 class Message:
     """One message in flight or delivered.
+
+    The record is **frozen**: once a message is on the wire, nobody —
+    sender, network model, or receiver — can rewrite its envelope or
+    swap its payload for another object (the SPL005 aliasing class is
+    ruled out at the record level; in-place mutation of a *shared
+    ndarray* payload is still the sender's responsibility, which is why
+    the collectives deep-copy on send).  The single legitimate
+    post-construction update, stamping the delivery time, goes through
+    :meth:`mark_delivered`.
 
     Attributes
     ----------
@@ -52,7 +61,8 @@ class Message:
     sent_at:
         Virtual send timestamp.
     delivered_at:
-        Virtual delivery timestamp (set on arrival at the mailbox).
+        Virtual delivery timestamp (stamped once on arrival at the
+        mailbox via :meth:`mark_delivered`).
     """
 
     src: int
@@ -62,6 +72,16 @@ class Message:
     nbytes: int
     sent_at: float
     delivered_at: Optional[float] = field(default=None, compare=False)
+
+    def mark_delivered(self, now: float) -> None:
+        """Stamp the delivery time (exactly once, at mailbox arrival)."""
+        if self.delivered_at is not None:
+            raise ValueError(f"message already delivered: {self!r}")
+        if now < self.sent_at:
+            raise ValueError(
+                f"delivery at {now} precedes send at {self.sent_at}: {self!r}"
+            )
+        object.__setattr__(self, "delivered_at", now)
 
     @property
     def latency(self) -> float:

@@ -123,11 +123,15 @@ class VirtualProcessor:
             sent_at=self.env.now,
         )
         self.sent_count += 1
+        if self.cluster.event_log is not None:
+            self.cluster.event_log.record_message(
+                "send", self.rank, self.env.now, peer=dst, tag=tag
+            )
         delivery = self.cluster.network.transmit(self.rank, dst, size)
         mailbox = self.cluster.processors[dst].mailbox
 
         def _deliver(event: Event) -> None:
-            msg.delivered_at = self.env.now
+            msg.mark_delivered(self.env.now)
             mailbox.put(msg)
 
         delivery.add_callback(_deliver)
@@ -166,6 +170,10 @@ class VirtualProcessor:
         )
         self.trace.record(phase, start, self.env.now, iteration)
         self.recv_count += 1
+        if self.cluster.event_log is not None:
+            self.cluster.event_log.record_message(
+                "recv", self.rank, self.env.now, peer=msg.src, tag=msg.tag
+            )
         if self.env.sanitizer is not None:
             self.env.sanitizer.note(
                 f"rank {self.rank}: recv src={msg.src} tag={msg.tag!r} "
@@ -181,6 +189,10 @@ class VirtualProcessor:
             return None
         self.mailbox.items.remove(found)
         self.recv_count += 1
+        if self.cluster.event_log is not None:
+            self.cluster.event_log.record_message(
+                "recv", self.rank, self.env.now, peer=found.src, tag=found.tag
+            )
         return found
 
     def probe(self, src: Optional[int] = None, tag: Hashable = None) -> bool:

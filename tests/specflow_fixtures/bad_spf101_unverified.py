@@ -1,0 +1,31 @@
+"""Fixture: SPF101 — unverified speculated value reaches a commit.
+
+``guess`` is produced by a speculator and committed to another rank
+without any path passing it through ``check``/``verify`` first.  The
+interprocedural variant launders the value through a helper whose
+summary says "returns unverified speculation".
+"""
+
+VARS = "vars"
+
+
+def direct(proc, t, history):
+    guess = speculate(history, t)
+    proc.send(1, guess, tag=(VARS, t))        # SPF101: never verified
+
+
+def produce(history, t):
+    return extrapolate(history, t)
+
+
+def interprocedural(proc, t, history):
+    estimate = produce(history, t)
+    proc.broadcast(estimate, tag=(VARS, t))   # SPF101: via summary
+
+
+def one_path_unchecked(proc, t, history, lucky):
+    guess = speculate(history, t)
+    if lucky:
+        actual = proc.recv(src=0, tag=(VARS, t))
+        guess = check(guess, actual)
+    proc.send(1, guess, tag=(VARS, t))        # SPF101: else-path unchecked

@@ -1,0 +1,16 @@
+"""Fixture: SPF102 — untrimmed history feeds the speculator.
+
+``history`` grows every iteration and is never trimmed to the
+backward window, so the extrapolation can consume values arbitrarily
+older than the window the protocol promises.
+"""
+
+VARS = "vars"
+
+
+def run(proc, steps):
+    history = []
+    for t in range(steps):
+        history.append(proc.recv(src=0, tag=(VARS, t)))
+        guess = extrapolate(history)           # SPF102: unbounded input
+        proc.send(1, check(guess, history[-1]), tag=(VARS, t))

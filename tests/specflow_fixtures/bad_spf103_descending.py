@@ -1,0 +1,11 @@
+"""Fixture: SPF103 — correction cascade applied newest-first.
+
+Repairing iteration ``t`` recomputes from the state at ``t - 1``; a
+descending sweep therefore recomputes later iterations from state the
+sweep has not repaired yet.  The cascade must run oldest-first.
+"""
+
+
+def repair(state, rejected):
+    for t in reversed(sorted(rejected)):
+        correct(state, t)                      # SPF103: descending cascade

@@ -1,0 +1,23 @@
+"""Fixture: SPF110 — tag families nobody answers.
+
+The ``acks`` family is sent but no receive anywhere can match it
+(message leak); the ``ctrl`` family is received but never sent
+(guaranteed deadlock on that path).
+"""
+
+ACKS = "acks"
+CTRL = "ctrl"
+VARS = "vars"
+
+
+def send_only(proc, value, t):
+    proc.send(1, value, tag=(ACKS, t))         # SPF110: never received
+
+
+def recv_only(proc, t):
+    return proc.recv(src=0, tag=(CTRL, t))     # SPF110: never sent
+
+
+def balanced(proc, value, t):
+    proc.send(1, value, tag=(VARS, t))
+    return proc.recv(src=1, tag=(VARS, t))

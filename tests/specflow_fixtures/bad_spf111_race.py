@@ -1,0 +1,21 @@
+"""Fixture: SPF111 — unordered same-family sends at a wildcard receive.
+
+``send_state`` and ``send_late_update`` are never ordered by program
+order, calls or messages, yet both emit the ``vars`` family — and
+``drain`` receives with no tag at all, so which message it consumes
+depends purely on delivery timing.
+"""
+
+VARS = "vars"
+
+
+def send_state(proc, state, t):
+    proc.send(1, state, tag=(VARS, t))         # SPF111: races with below
+
+
+def send_late_update(proc, update, t):
+    proc.send(1, update, tag=(VARS, t + 1))    # SPF111: races with above
+
+
+def drain(proc):
+    return proc.recv()                         # wildcard: matches either

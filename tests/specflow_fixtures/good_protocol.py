@@ -1,0 +1,24 @@
+"""Fixture: a disciplined protocol body specflow must accept.
+
+Speculations are verified before commit, the history is trimmed to the
+backward window, corrections cascade oldest-first, every tag family is
+both sent and received, and receives name their tag + source.
+"""
+
+VARS = "vars"
+BW = 4
+
+
+def step(proc, t, history):
+    guess = speculate(history, t)
+    actual = proc.recv(src=0, tag=(VARS, t))
+    guess = check(guess, actual)
+    proc.send(1, guess, tag=(VARS, t))
+    history.append(actual)
+    del history[:-BW]
+    return guess
+
+
+def repair(state, rejected):
+    for t in sorted(rejected):
+        correct(state, t)

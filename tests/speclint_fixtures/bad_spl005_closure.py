@@ -1,0 +1,27 @@
+"""Fixture: SPL005 — payload mutated by a *closure*, not straight-line code.
+
+The mutation sits in a nested function defined before the send, so a
+scan of the enclosing function's own statements never sees it — but
+the closure runs after the send (callbacks always do), and it captures
+the very array the transport aliased.  The second function shows the
+exemption: a parameter named like the payload shadows the closure, so
+nothing is captured and nothing fires.
+"""
+
+VARS = "vars"
+
+
+def leak(proc, block, t):
+    def on_timer():
+        block[0] = 0.0      # runs later; the receiver observes this write
+
+    proc.send(1, block, tag=(VARS, t))   # SPL005: closure mutates payload
+    return on_timer
+
+
+def ok_shadowed(proc, block, t):
+    def scale(block):
+        block[0] = 0.0      # parameter shadows `block`: no capture
+
+    proc.send(1, block, tag=(VARS, t))
+    return scale

@@ -1,5 +1,7 @@
 """Unit tests for the virtual machine substrate."""
 
+from dataclasses import FrozenInstanceError
+
 import pytest
 
 from repro.netsim import BusNetwork, ConstantLatency, DelayNetwork, SharedBus
@@ -114,12 +116,25 @@ def test_message_latency_and_matching():
     m = Message(src=0, dst=1, tag="t", payload=None, nbytes=8, sent_at=1.0)
     with pytest.raises(ValueError):
         _ = m.latency
-    m.delivered_at = 3.0
+    m.mark_delivered(3.0)
     assert m.latency == 2.0
     assert m.matches()
     assert m.matches(src=0, tag="t")
     assert not m.matches(src=1)
     assert not m.matches(tag="other")
+
+
+def test_message_is_frozen_and_delivered_once():
+    m = Message(src=0, dst=1, tag="t", payload=None, nbytes=8, sent_at=1.0)
+    with pytest.raises(FrozenInstanceError):
+        m.payload = "swapped"
+    with pytest.raises(FrozenInstanceError):
+        m.delivered_at = 3.0
+    with pytest.raises(ValueError):
+        m.mark_delivered(0.5)  # before the send
+    m.mark_delivered(2.0)
+    with pytest.raises(ValueError):
+        m.mark_delivered(4.0)  # double delivery
 
 
 # ----------------------------------------------------------------- cluster
