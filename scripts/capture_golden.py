@@ -1,0 +1,77 @@
+"""Capture golden RunResult fields from the current driver (parity anchor).
+
+Run before AND after the engine refactor; the outputs must be identical
+(the engine golden tests pin these values).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.apps.jacobi import JacobiSolver, diagonally_dominant_system
+from repro.core import run_program
+from repro.harness import run_nbody
+from repro.netsim import ConstantLatency, DelayNetwork
+from repro.vm import Cluster, uniform_specs
+
+
+def jacobi_case(fw: int, cascade: str) -> dict:
+    a, b = diagonally_dominant_system(48, seed=7)
+    prog = JacobiSolver(a, b, capacities=[1000.0] * 4, iterations=8, threshold=1e-9)
+    cluster = Cluster(
+        uniform_specs(4, capacity=1000.0),
+        network_factory=lambda env: DelayNetwork(env, ConstantLatency(0.4)),
+    )
+    res = run_program(prog, cluster, fw=fw, cascade=cascade)
+    return summarize(res)
+
+
+def nbody_case(fw: int) -> dict:
+    _, res = run_nbody(4, fw, config={"n_particles": 120, "iterations": 5})
+    return summarize(res)
+
+
+def summarize(res) -> dict:
+    return {
+        "makespan": repr(float(res.makespan)),
+        "iterations": res.iterations,
+        "fw": res.fw,
+        "final_digest": [
+            repr(float(np.asarray(res.final_blocks[r]).sum()))
+            for r in sorted(res.final_blocks)
+        ],
+        "stats": [
+            {
+                "rank": s.rank,
+                "spec_made": s.spec_made,
+                "spec_accepted": s.spec_accepted,
+                "spec_rejected": s.spec_rejected,
+                "checks": s.checks,
+                "recomputes": s.recomputes,
+                "iterations": s.iterations,
+                "tainted_sends": s.tainted_sends,
+                "messages_sent": s.messages_sent,
+                "messages_received": s.messages_received,
+            }
+            for s in res.stats
+        ],
+    }
+
+
+def main() -> None:
+    golden = {
+        "jacobi_fw1_recompute": jacobi_case(1, "recompute"),
+        "jacobi_fw2_recompute": jacobi_case(2, "recompute"),
+        "jacobi_fw0": jacobi_case(0, "recompute"),
+        "jacobi_fw2_none": jacobi_case(2, "none"),
+        "nbody_fw0": nbody_case(0),
+        "nbody_fw1": nbody_case(1),
+        "nbody_fw2": nbody_case(2),
+    }
+    print(json.dumps(golden, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -6,9 +6,11 @@ Subcommands
     Show the reproducible artifacts.
 ``repro run fig8 [--out FILE]``
     Regenerate one of the paper's tables/figures and print it.
-``repro nbody --p 8 --fw 1 [--record-trace FILE] ...``
+``repro nbody -p 8 --fw 1 [--backend mp] [--record-trace FILE] ...``
     Run a single N-body experiment with explicit knobs; optionally
-    record the protocol event trace for later replay.
+    record the protocol event trace for later replay.  ``--backend
+    mp`` runs the same protocol engine on real OS processes over
+    pipes with injected latency instead of the simulator.
 ``repro lint [paths] [--format json] [--sanitize-selftest]``
     Run speclint (the protocol-aware static analyzer) over the given
     files/directories, or self-test the runtime protocol sanitizer.
@@ -80,6 +82,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_nbody(args: argparse.Namespace) -> int:
+    if args.backend == "mp":
+        return _cmd_nbody_mp(args)
     from repro.harness import run_nbody
 
     event_log = None
@@ -108,6 +112,37 @@ def _cmd_nbody(args: argparse.Namespace) -> int:
     print(f"  compute / comm      : {b['compute']:.3f} / {b['comm']:.3f} s per iter")
     print(f"  spec / check / corr : {b['spec']:.3f} / {b['check']:.3f} / {b['correct']:.3f}")
     print(f"  rejected speculation: {100 * program.spec_stats.incorrect_fraction:.2f}%")
+    return 0
+
+
+def _cmd_nbody_mp(args: argparse.Namespace) -> int:
+    """``repro nbody --backend mp``: the protocol on real processes."""
+    from repro.harness import run_nbody_mp
+
+    program, result = run_nbody_mp(
+        p=args.p,
+        fw=args.fw,
+        iterations=args.iterations,
+        n_particles=args.particles,
+        threshold=args.theta,
+        latency=args.latency,
+        jitter=args.jitter,
+        record_events=bool(args.record_trace),
+    )
+    if args.record_trace:
+        log = result.event_log()
+        log.save(args.record_trace)
+        print(f"(trace: {len(log)} events written to {args.record_trace})")
+    spec_made = sum(r.spec_made for r in result.reports)
+    print(
+        f"p={args.p} FW={args.fw} N={args.particles} T={args.iterations} "
+        f"theta={args.theta} backend=mp latency={args.latency}s"
+    )
+    print(f"  wall time           : {result.wall_seconds:.3f} s (slowest rank)")
+    print(f"  compute / comm      : {result.phase_seconds('compute'):.3f} / "
+          f"{result.phase_seconds('comm'):.3f} s (max over ranks)")
+    print(f"  speculations made   : {spec_made}")
+    print(f"  rejected speculation: {100 * result.rejection_rate:.2f}%")
     return 0
 
 
@@ -211,11 +246,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_nb = sub.add_parser("nbody", help="run one N-body configuration")
-    p_nb.add_argument("--p", type=int, default=8, help="processors (1-16)")
+    p_nb.add_argument("-p", "--p", type=int, default=8, help="processors (1-16)")
     p_nb.add_argument("--fw", type=int, default=1, help="forward window")
     p_nb.add_argument("--particles", type=int, default=1000)
     p_nb.add_argument("--iterations", type=int, default=10)
     p_nb.add_argument("--theta", type=float, default=0.01)
+    p_nb.add_argument(
+        "--backend",
+        choices=("des", "mp"),
+        default="des",
+        help="des = discrete-event simulator (default); "
+        "mp = real OS processes over pipes with injected latency",
+    )
+    p_nb.add_argument(
+        "--latency", type=float, default=0.05,
+        help="mp backend: injected one-way delay in wall seconds",
+    )
+    p_nb.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="mp backend: log-normal sigma multiplying the latency",
+    )
     p_nb.add_argument(
         "--record-trace",
         metavar="FILE",

@@ -24,8 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.driver import SpeculativeDriver, _RankState
+from repro.core.driver import SpeculativeDriver
 from repro.core.program import SyncIterativeProgram
+from repro.engine.core import SpecEngine
 from repro.vm import Cluster, VirtualProcessor
 
 
@@ -102,7 +103,7 @@ class AdaptiveSpeculativeDriver(SpeculativeDriver):
             {"start_time": 0.0, "checks": 0, "rejects": 0} for _ in range(cluster.size)
         ]
 
-    def _post_iteration(self, proc: VirtualProcessor, st: _RankState, t: int) -> None:
+    def _post_iteration(self, proc: VirtualProcessor, st: SpecEngine, t: int) -> None:
         pol = self.policy
         if (t + 1) % pol.epoch != 0:
             return

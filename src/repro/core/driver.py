@@ -11,6 +11,14 @@ One driver, parameterised by the forward window FW:
   processor may run ahead of its oldest unverified iteration
   (Section 3.2's forward window, Fig. 4).
 
+The protocol itself lives in :class:`repro.engine.SpecEngine` — a
+sans-I/O state machine shared with the loopback and multiprocessing
+backends.  This driver owns only what is DES-specific: building one
+engine per rank, interpreting its effects against the rank's
+:class:`~repro.vm.processor.VirtualProcessor` through
+:class:`~repro.engine.des_transport.DESTransport`, and collecting the
+run's measurements.
+
 Verification and correction semantics
 -------------------------------------
 When the actual X_k(t) arrives for a speculated input, the processor
@@ -33,97 +41,24 @@ construction.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Generator, Optional
 
 from repro.analysis.sanitizer import ProtocolSanitizer, sanitizer_from_env
-from repro.core.program import Block, SyncIterativeProgram
+from repro.core.program import SyncIterativeProgram
 from repro.core.results import RunResult, SpecStats
+from repro.engine.core import (
+    SpecEngine,
+    default_hist_cap,
+    default_pre_send_horizon,
+    default_window_ok,
+    topology,
+)
+from repro.engine.des_transport import DESTransport
+
+# Re-exported for backwards compatibility: the authoritative definition
+# of the message-tag family moved into the engine's effect alphabet.
+from repro.engine.events import VARS  # noqa: F401
 from repro.vm import Cluster, VirtualProcessor
-
-#: Message-tag family used by the drivers.
-VARS = "vars"
-
-
-class _RankState:
-    """Per-rank bookkeeping for one run (internal)."""
-
-    def __init__(
-        self,
-        rank: int,
-        program: SyncIterativeProgram,
-        hist_cap: int,
-        needed: frozenset[int],
-    ) -> None:
-        p = program.nprocs
-        self.rank = rank
-        #: Ranks whose blocks this rank's compute reads.
-        self.needed = needed
-        #: Own chain: chain[t] = X_rank(t); seeded with the initial block.
-        self.chain: dict[int, Block] = {0: program.initial_block(rank)}
-        #: Received (or initial) remote blocks: (k, t) -> block.
-        self.actual: dict[tuple[int, int], Block] = {}
-        #: Speculated values currently standing in for missing inputs.
-        self.spec_used: dict[tuple[int, int], Block] = {}
-        #: Exact inputs used to compute chain[t+1] (for corrections).
-        self.inputs_used: dict[int, dict[int, Block]] = {}
-        #: Bounded history of actuals per remote rank: deque of (t, block).
-        self.history: dict[int, deque] = {}
-        #: Remaining messages expected for iteration t (t >= 1).
-        self.missing: dict[int, int] = {}
-        #: Largest v such that iterations 0..v are fully received.
-        self.verified_upto = 0
-        #: Next iteration to compute (chain[frontier] is the newest block).
-        self.frontier = 0
-        #: Current forward window for this rank (drivers may adapt it).
-        self.fw = 0
-        #: Virtual seconds spent blocked in window waits this epoch.
-        self.epoch_wait = 0.0
-        for k in needed:
-            block0 = program.initial_block(k)
-            self.actual[(k, 0)] = block0
-            self.history[k] = deque([(0, block0)], maxlen=hist_cap)
-        if not needed:
-            # No remote inputs exist; every iteration is vacuously
-            # verified, so the windows never block.
-            self.verified_upto = program.iterations
-
-    def record_arrival(self, k: int, t: int, block: Block, expected: int) -> None:
-        """Store an actual block and advance the verified horizon."""
-        self.actual[(k, t)] = block
-        hist = self.history[k]
-        if hist and hist[-1][0] >= t:
-            raise RuntimeError(
-                f"out-of-order arrival from rank {k}: got t={t} after t={hist[-1][0]}"
-            )
-        hist.append((t, block))
-        self.missing[t] = self.missing.get(t, expected) - 1
-        while self.missing.get(self.verified_upto + 1, expected) == 0:
-            self.verified_upto += 1
-
-    def history_for(self, k: int) -> tuple[list[int], list[Block]]:
-        """(times, values) of the known actuals from rank ``k``."""
-        times = [t for t, _ in self.history[k]]
-        values = [b for _, b in self.history[k]]
-        return times, values
-
-    def prune(self) -> None:
-        """Drop bookkeeping no correction can ever need again.
-
-        Iterations strictly below both ``verified_upto`` (complete:
-        every message arrived, every check ran) and ``frontier`` (we
-        are past them locally) can never be read again — their inputs
-        and stale actuals are dead weight.
-        """
-        horizon = min(self.verified_upto, self.frontier)
-        for t in [t for t in self.inputs_used if t < horizon]:
-            del self.inputs_used[t]
-        for key in [key for key in self.actual if key[1] < horizon]:
-            del self.actual[key]
-        for t in [t for t in self.missing if t < horizon]:
-            del self.missing[t]
-        for t in [t for t in self.chain if t < horizon - 1]:
-            del self.chain[t]
 
 
 class SpeculativeDriver:
@@ -183,21 +118,10 @@ class SpeculativeDriver:
             self.sanitizer: Optional[ProtocolSanitizer] = sanitizer_from_env()
         else:
             self.sanitizer = ProtocolSanitizer() if sanitize else None
-        hist_cap = max(getattr(program.speculator, "backward_window", 1), 2) + 2
-        self._hist_cap = hist_cap
+        self._hist_cap = default_hist_cap(program)
         self._stats = [SpecStats(rank=r) for r in range(cluster.size)]
-        #: needed[j]: ranks whose blocks j reads (validated once here).
-        self._needed = []
-        for j in range(cluster.size):
-            needed = frozenset(program.needed(j))
-            if j in needed or not needed <= set(range(cluster.size)):
-                raise ValueError(f"invalid needed set for rank {j}: {sorted(needed)}")
-            self._needed.append(needed)
-        #: audience[j]: ranks that read j's block (who j must send to).
-        self._audience = [
-            [k for k in range(cluster.size) if j in self._needed[k]]
-            for j in range(cluster.size)
-        ]
+        #: needed[j] / audience[j]: validated dependency topology.
+        self._needed, self._audience = topology(program)
 
     # ------------------------------------------------------------------ run
     def run(self) -> RunResult:
@@ -222,232 +146,54 @@ class SpeculativeDriver:
 
     # ---------------------------------------------------------- per-rank code
     def _rank_program(self, proc: VirtualProcessor) -> Generator:
-        prog = self.program
+        """One rank: a :class:`SpecEngine` driven over the simulator."""
         j = proc.rank
-        T = prog.iterations
-        st = _RankState(j, prog, self._hist_cap, self._needed[j])
-        st.fw = self.fw
-        stats = self._stats[j]
-        san = self.sanitizer
+        engine = self._make_engine(j)
+        transport = DESTransport(
+            proc,
+            sanitizer=self.sanitizer,
+            event_log=self.cluster.event_log,
+            on_iteration=lambda t: self._post_iteration(proc, engine, t),
+        )
+        final = yield from transport.drive(engine)
+        return final
 
-        for t in range(T):
-            # 1. Opportunistically absorb whatever has already arrived.
-            yield from self._drain(proc, st)
+    def _make_engine(self, rank: int) -> SpecEngine:
+        """Build rank ``rank``'s protocol state machine."""
+        return SpecEngine(
+            self.program,
+            rank,
+            self._needed[rank],
+            self._audience[rank],
+            fw=self.fw,
+            cascade=self.cascade,
+            hist_cap=self._hist_cap,
+            stats=self._stats[rank],
+            # Bound methods so subclasses (and the sanitizer tests,
+            # which deliberately sabotage the gates) keep overriding
+            # the forward-window policy at the driver level.
+            pre_send_horizon=self._pre_send_horizon,
+            window_ok=self._window_ok,
+        )
 
-            # 2a. Pre-send window: Fig. 3 sends X_j(t) only after the
-            #     previous iteration's trailing verification loop, so any
-            #     correction of X_j(t) lands *before* it goes on the wire.
-            #     (With fw >= 2 the processor is allowed to run further
-            #     ahead and sends may be tainted — counted below.)
-            pre_horizon = self._pre_send_horizon(st, t)
-            while st.verified_upto < pre_horizon:
-                wait_start = proc.env.now
-                msg = yield from proc.recv(phase="comm", iteration=t)
-                st.epoch_wait += proc.env.now - wait_start
-                yield from self._process_message(proc, st, msg)
-
-            # 2b. Broadcast X_j(t) (iteration 0 is known everywhere from
-            #     the initial read; no message needed).
-            if t > 0 and self._audience[j]:
-                if any(key[1] < t for key in st.spec_used):
-                    stats.tainted_sends += 1
-                for dst in self._audience[j]:
-                    proc.send(
-                        dst, st.chain[t], tag=(VARS, t), nbytes=prog.block_nbytes(j)
-                    )
-                pack = prog.send_ops(j) * len(self._audience[j])
-                if pack > 0:
-                    # Sender-side software cost (PVM pack); serial with
-                    # the sender's own progress, like the real stack.
-                    yield from proc.compute(pack, phase="comm", iteration=t)
-
-            # 2c. Post-send window: with fw = 0 this is the blocking
-            #     receive of Fig. 1 — all X_k(t) must arrive before the
-            #     compute phase; with fw >= 1 it is a no-op beyond 2a.
-            while not self._window_ok(st, t):
-                wait_start = proc.env.now
-                msg = yield from proc.recv(phase="comm", iteration=t)
-                st.epoch_wait += proc.env.now - wait_start
-                yield from self._process_message(proc, st, msg)
-
-            # 3. Assemble inputs for iteration t, speculating what is missing.
-            inputs: dict[int, Block] = {j: st.chain[t]}
-            for k in sorted(st.needed):
-                known = st.actual.get((k, t))
-                if known is not None:
-                    inputs[k] = known
-                else:
-                    times, values = st.history_for(k)
-                    spec = prog.speculate(j, k, times, values, t)
-                    yield from proc.compute(
-                        prog.speculate_ops(j, k), phase="spec", iteration=t
-                    )
-                    st.spec_used[(k, t)] = spec
-                    inputs[k] = spec
-                    stats.spec_made += 1
-                    if san is not None:
-                        san.on_speculate(j, k, t)
-                    if self.cluster.event_log is not None:
-                        self.cluster.event_log.record(
-                            "speculate", j, proc.env.now, peer=k,
-                            family=VARS, iteration=t,
-                        )
-            st.inputs_used[t] = inputs
-
-            # 4. Compute X_j(t+1).
-            if san is not None:
-                san.on_compute_begin(j, t, st.verified_upto, st.fw)
-            if self.cluster.event_log is not None:
-                self.cluster.event_log.record(
-                    "compute", j, proc.env.now, iteration=t
-                )
-            new_block = prog.compute(j, inputs, t)
-            yield from proc.compute(prog.compute_ops(j), phase="compute", iteration=t)
-            st.chain[t + 1] = new_block
-            st.frontier = t + 1
-            stats.iterations += 1
-            st.prune()
-            self._post_iteration(proc, st, t)
-
-        # 6. Final verification: wait out all stragglers so every
-        #    speculation is checked and corrected before reporting.
-        while st.verified_upto < T - 1:
-            msg = yield from proc.recv(phase="comm", iteration=T - 1)
-            yield from self._process_message(proc, st, msg)
-
-        return st.chain[T]
-
-    def _pre_send_horizon(self, st: _RankState, t: int) -> int:
+    # ----------------------------------------------------------- extension
+    def _pre_send_horizon(self, st: SpecEngine, t: int) -> int:
         """Oldest iteration that must be verified before X_j(t) is sent.
 
-        Fig. 3 sends X_j(t) only once the trailing verification loop has
-        caught up to ``t - max(fw, 1)``, so corrections land before the
-        block goes on the wire.  Factored out (together with
-        :meth:`_window_ok`) so tests can sabotage the gates and prove
-        the runtime sanitizer catches the resulting window violations.
+        Delegates to the engine's default gate; factored out (together
+        with :meth:`_window_ok`) so tests can sabotage the gates and
+        prove the runtime sanitizer catches the resulting window
+        violations.
         """
-        return t - max(st.fw, 1)
+        return default_pre_send_horizon(st, t)
 
-    def _window_ok(self, st: _RankState, t: int) -> bool:
+    def _window_ok(self, st: SpecEngine, t: int) -> bool:
         """May iteration ``t`` start given the rank's forward window?"""
-        if st.fw == 0:
-            return st.verified_upto >= t
-        return st.verified_upto >= t - st.fw
+        return default_window_ok(st, t)
 
-    def _post_iteration(self, proc: VirtualProcessor, st: _RankState, t: int) -> None:
+    def _post_iteration(self, proc: VirtualProcessor, st: SpecEngine, t: int) -> None:
         """Hook called after each completed iteration (adaptive drivers
         override this to retune the rank's window)."""
-
-    # ------------------------------------------------------------- messages
-    def _drain(self, proc: VirtualProcessor, st: _RankState) -> Generator:
-        """Process every message already waiting in the mailbox."""
-        while True:
-            msg = proc.try_recv()
-            if msg is None:
-                return
-            yield from self._process_message(proc, st, msg)
-
-    def _process_message(self, proc: VirtualProcessor, st: _RankState, msg) -> Generator:
-        """Store an arrival; verify (and maybe correct) a past speculation."""
-        prog = self.program
-        j = proc.rank
-        stats = self._stats[j]
-        kind, t = msg.tag
-        if kind != VARS:  # pragma: no cover - no other traffic exists
-            raise RuntimeError(f"unexpected message tag {msg.tag!r}")
-        k = msg.src
-        if k not in st.needed:  # pragma: no cover - audience routing prevents this
-            return
-        actual = msg.payload
-        st.record_arrival(k, t, actual, expected=len(st.needed))
-
-        spec = st.spec_used.pop((k, t), None)
-        if spec is None:
-            return  # arrived before we needed it: no speculation to verify
-
-        if self.sanitizer is not None:
-            self.sanitizer.on_verify(j, k, t)
-        if self.cluster.event_log is not None:
-            self.cluster.event_log.record(
-                "verify", j, proc.env.now, peer=k, family=VARS, iteration=t
-            )
-        yield from proc.compute(prog.check_ops(j, k), phase="check", iteration=t)
-        stats.checks += 1
-        own = st.chain[t]
-        error = prog.check(j, k, spec, actual, own)
-        if error <= prog.threshold:
-            stats.spec_accepted += 1
-            return
-        stats.spec_rejected += 1
-        yield from self._cascade_recompute(proc, st, k, t, spec, actual)
-
-    def _cascade_recompute(
-        self,
-        proc: VirtualProcessor,
-        st: _RankState,
-        k: int,
-        t: int,
-        spec: Block,
-        actual: Block,
-    ) -> Generator:
-        """Repair iteration ``t`` and recompute everything after it."""
-        prog = self.program
-        j = proc.rank
-        stats = self._stats[j]
-        san = self.sanitizer
-        if san is not None:
-            san.on_cascade_begin(j, t)
-
-        # Repair iteration t itself via the (possibly incremental)
-        # application correction hook.
-        inputs = st.inputs_used[t]
-        corrected, ops = prog.correct(
-            j, st.chain[t + 1], inputs, k, spec, actual, t
-        )
-        inputs[k] = actual
-        yield from proc.compute(ops, phase="correct", iteration=t)
-        st.chain[t + 1] = corrected
-        stats.recomputes += 1
-        if self.cluster.event_log is not None:
-            self.cluster.event_log.record(
-                "correct", j, proc.env.now, peer=k, family=VARS, iteration=t
-            )
-
-        if self.cascade == "none":
-            if san is not None:
-                san.on_cascade_end(j)
-            return
-
-        # Cascade: iterations t+1 .. frontier-1 consumed the old chain.
-        for t2 in range(t + 1, st.frontier):
-            if san is not None:
-                san.on_cascade_step(j, t2)
-            if self.cluster.event_log is not None:
-                self.cluster.event_log.record(
-                    "correct", j, proc.env.now, peer=k, family=VARS, iteration=t2
-                )
-            inputs2 = st.inputs_used[t2]
-            inputs2[j] = st.chain[t2]
-            for k2 in sorted(st.needed):
-                if (k2, t2) in st.spec_used:
-                    times, values = st.history_for(k2)
-                    respec = prog.speculate(j, k2, times, values, t2)
-                    yield from proc.compute(
-                        prog.speculate_ops(j, k2), phase="correct", iteration=t2
-                    )
-                    st.spec_used[(k2, t2)] = respec
-                    inputs2[k2] = respec
-                    stats.spec_made += 1
-                    if san is not None:
-                        san.on_speculate(j, k2, t2)
-            new_block = prog.compute(j, inputs2, t2)
-            yield from proc.compute(
-                prog.compute_ops(j), phase="correct", iteration=t2
-            )
-            st.chain[t2 + 1] = new_block
-            stats.recomputes += 1
-        if san is not None:
-            san.on_cascade_end(j)
 
 
 def run_program(

@@ -18,15 +18,18 @@ without incremental structure should keep using the blocking driver
 from __future__ import annotations
 
 from abc import abstractmethod
-from typing import Any, Generator, Mapping
+from typing import Any, Generator
 
 from repro.analysis.sanitizer import sanitizer_from_env
 from repro.core.program import Block, SyncIterativeProgram
 from repro.core.results import RunResult, SpecStats
-from repro.vm import Cluster, VirtualProcessor
+from repro.engine.core import ReceiveDrivenEngine, topology
+from repro.engine.des_transport import DESTransport
 
-#: Message-tag family (shared with the speculative drivers).
-VARS = "vars"
+# Re-exported for backwards compatibility: the authoritative definition
+# of the message-tag family moved into the engine's effect alphabet.
+from repro.engine.events import VARS  # noqa: F401
+from repro.vm import Cluster, VirtualProcessor
 
 
 class IncrementalProgram(SyncIterativeProgram):
@@ -82,6 +85,10 @@ class ReceiveDrivenDriver:
     Per iteration: broadcast the own block, start the accumulator from
     local state, then absorb each message *as it arrives* (any order);
     when all expected blocks are in, finish the update and move on.
+
+    The protocol itself is :class:`repro.engine.ReceiveDrivenEngine`;
+    this driver builds one per rank and interprets its effects on the
+    simulator through :class:`~repro.engine.des_transport.DESTransport`.
     """
 
     def __init__(self, program: IncrementalProgram, cluster: Cluster) -> None:
@@ -94,6 +101,7 @@ class ReceiveDrivenDriver:
         self.program = program
         self.cluster = cluster
         self._stats = [SpecStats(rank=r) for r in range(cluster.size)]
+        self._needed, self._audience = topology(program)
 
     def run(self) -> RunResult:
         """Execute to completion; returns the measurements."""
@@ -115,49 +123,12 @@ class ReceiveDrivenDriver:
         )
 
     def _rank_program(self, proc: VirtualProcessor) -> Generator:
-        prog = self.program
+        """One rank: a :class:`ReceiveDrivenEngine` over the simulator."""
         j = proc.rank
-        T = prog.iterations
-        needed = sorted(prog.needed(j))
-        audience = [
-            k for k in range(prog.nprocs) if j in prog.needed(k)
-        ]
-        stats = self._stats[j]
-
-        own = prog.initial_block(j)
-        #: Blocks known for iteration 0 (the initial read).
-        initial = {k: prog.initial_block(k) for k in needed}
-
-        for t in range(T):
-            if t > 0 and audience:
-                for dst in audience:
-                    proc.send(dst, own, tag=(VARS, t), nbytes=prog.block_nbytes(j))
-                pack = prog.send_ops(j) * len(audience)
-                if pack > 0:
-                    yield from proc.compute(pack, phase="comm", iteration=t)
-
-            acc = prog.begin(j, own, t)
-            yield from proc.compute(prog.begin_ops(j), phase="compute", iteration=t)
-
-            remaining = set(needed)
-            while remaining:
-                if t == 0:
-                    k = remaining.pop()
-                    block = initial[k]
-                else:
-                    msg = yield from proc.recv(tag=(VARS, t), phase="comm", iteration=t)
-                    k = msg.src
-                    if k not in remaining:  # pragma: no cover - tags prevent this
-                        raise RuntimeError(f"duplicate block from rank {k}")
-                    remaining.discard(k)
-                    block = msg.payload
-                acc = prog.absorb(j, acc, k, block, t)
-                yield from proc.compute(
-                    prog.absorb_ops(j, k), phase="compute", iteration=t
-                )
-
-            own = prog.finish(j, acc, own, t)
-            yield from proc.compute(prog.finish_ops(j), phase="compute", iteration=t)
-            stats.iterations += 1
-
-        return own
+        engine = ReceiveDrivenEngine(
+            self.program, j, self._needed[j], self._audience[j],
+            stats=self._stats[j],
+        )
+        transport = DESTransport(proc, event_log=self.cluster.event_log)
+        final = yield from transport.drive(engine)
+        return final

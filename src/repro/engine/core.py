@@ -1,0 +1,504 @@
+"""The sans-I/O speculative protocol engine.
+
+One state machine owns the paper's protocol (Fig. 3: send →
+receive-what-arrived → speculate → compute → verify → correct, with
+the FW/BW windows of Section 3.2) for *every* backend.  The engine:
+
+* keeps per-peer :class:`~repro.engine.ring.HistoryRing` backward
+  windows, the own-state chain, the speculation ledger and the
+  verified horizon;
+* stamps every outgoing message with a per-destination sequence
+  number, so transports can (and the pipe transport does) enforce
+  protocol order at the receiver — the fix for the SPF111
+  unordered-sends race;
+* calls the application's pure numerics (``compute`` / ``speculate``
+  / ``check`` / ``correct``) itself, but expresses *everything with a
+  cost or a side effect* as a yielded effect
+  (:mod:`repro.engine.events`) interpreted by a transport.
+
+``SpecEngine.run()`` is a generator over effects::
+
+    gen = engine.run()
+    response = None
+    while True:
+        try:
+            effect = gen.send(response)
+        except StopIteration as stop:
+            final_block = stop.value
+            break
+        response = transport.handle(effect)   # Arrival / None
+
+The DES transport turns effects into ``VirtualProcessor`` calls, the
+pipe transport into real ``multiprocessing`` I/O, and the loopback
+transport into in-process queues — three media, one protocol.
+
+:class:`ReceiveDrivenEngine` expresses the paper's Fig. 7 baseline
+(incremental compute, no speculation) over the same effect alphabet,
+so the receive-driven driver shares the transports and observers too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Generator, Optional, Sequence, Tuple
+
+from repro.core.program import Block, SyncIterativeProgram
+from repro.core.results import SpecStats
+from repro.engine.events import (
+    VARS,
+    Arrival,
+    CascadeBegin,
+    CascadeEnd,
+    CascadeStep,
+    Charge,
+    ComputeBegin,
+    Corrected,
+    IterationDone,
+    Recv,
+    Send,
+    Speculated,
+    TryRecv,
+    Verified,
+)
+from repro.engine.ring import HistoryRing
+
+
+def default_hist_cap(program: SyncIterativeProgram) -> int:
+    """Backward-window ring capacity for ``program``'s speculator."""
+    return max(getattr(program.speculator, "backward_window", 1), 2) + 2
+
+
+def topology(
+    program: SyncIterativeProgram,
+) -> Tuple[list[FrozenSet[int]], list[list[int]]]:
+    """Validated ``(needed, audience)`` lists for every rank.
+
+    ``needed[j]`` is the set of ranks whose blocks ``j`` reads;
+    ``audience[j]`` the ranks that read ``j`` (who ``j`` must send
+    to).  Raises on self-dependencies or out-of-range ranks.
+    """
+    p = program.nprocs
+    needed: list[FrozenSet[int]] = []
+    for j in range(p):
+        deps = frozenset(program.needed(j))
+        if j in deps or not deps <= set(range(p)):
+            raise ValueError(f"invalid needed set for rank {j}: {sorted(deps)}")
+        needed.append(deps)
+    audience = [[k for k in range(p) if j in needed[k]] for j in range(p)]
+    return needed, audience
+
+
+#: Signature of the overridable forward-window gates: ``(engine, t)``.
+HorizonFn = Callable[["SpecEngine", int], int]
+WindowFn = Callable[["SpecEngine", int], bool]
+
+
+def default_pre_send_horizon(engine: "SpecEngine", t: int) -> int:
+    """Oldest iteration that must be verified before X_j(t) is sent.
+
+    Fig. 3 sends X_j(t) only once the trailing verification loop has
+    caught up to ``t - max(fw, 1)``, so corrections land before the
+    block goes on the wire.  A module function (not just a method) so
+    drivers can delegate to it and tests can sabotage the gates to
+    prove the runtime sanitizer catches window violations.
+    """
+    return t - max(engine.fw, 1)
+
+
+def default_window_ok(engine: "SpecEngine", t: int) -> bool:
+    """May iteration ``t`` start given the rank's forward window?"""
+    if engine.fw == 0:
+        return engine.verified_upto >= t
+    return engine.verified_upto >= t - engine.fw
+
+
+class SpecEngine:
+    """Sans-I/O speculative protocol state machine for one rank.
+
+    Parameters
+    ----------
+    program:
+        The application (numerics + cost model); kernels are called
+        directly, costs are yielded as :class:`~repro.engine.events.Charge`.
+    rank:
+        This engine's rank.
+    needed / audience:
+        The rank's dependency topology (see :func:`topology`).
+    fw:
+        Forward window; 0 reproduces the blocking algorithm of Fig. 1.
+    cascade:
+        ``"recompute"`` (redo iterations after a rejected one) or
+        ``"none"`` (the paper's local correction).
+    hist_cap:
+        Backward-window ring capacity (default from the speculator).
+    stats:
+        Mutable counter sink; one :class:`SpecStats` per rank.
+    pre_send_horizon / window_ok:
+        Overridable forward-window gates (drivers pass bound methods;
+        tests sabotage them to exercise the runtime sanitizer).
+    """
+
+    def __init__(
+        self,
+        program: SyncIterativeProgram,
+        rank: int,
+        needed: FrozenSet[int],
+        audience: Sequence[int],
+        fw: int = 1,
+        cascade: str = "recompute",
+        hist_cap: Optional[int] = None,
+        stats: Optional[SpecStats] = None,
+        pre_send_horizon: Optional[HorizonFn] = None,
+        window_ok: Optional[WindowFn] = None,
+    ) -> None:
+        if fw < 0:
+            raise ValueError("fw must be >= 0")
+        if cascade not in ("recompute", "none"):
+            raise ValueError(f"unknown cascade policy {cascade!r}")
+        self.program = program
+        self.rank = rank
+        self.needed = frozenset(needed)
+        self.audience = list(audience)
+        self.fw = fw
+        self.cascade = cascade
+        self.hist_cap = hist_cap if hist_cap is not None else default_hist_cap(program)
+        self.stats = stats if stats is not None else SpecStats(rank=rank)
+        self._pre_send_horizon = pre_send_horizon
+        self._window_ok = window_ok
+
+        # ------------------------------------------------ protocol state
+        #: Own chain: chain[t] = X_rank(t); seeded with the initial block.
+        self.chain: Dict[int, Block] = {0: program.initial_block(rank)}
+        #: Received (or initial) remote blocks: (k, t) -> block.
+        self.actual: Dict[Tuple[int, int], Block] = {}
+        #: Speculated values currently standing in for missing inputs.
+        self.spec_used: Dict[Tuple[int, int], Block] = {}
+        #: Exact inputs used to compute chain[t+1] (for corrections).
+        self.inputs_used: Dict[int, Dict[int, Block]] = {}
+        #: Backward-window rings of received actuals, per remote rank.
+        self.history: Dict[int, HistoryRing] = {}
+        #: Remaining messages expected for iteration t (t >= 1).
+        self.missing: Dict[int, int] = {}
+        #: Largest v such that iterations 0..v are fully received.
+        self.verified_upto = 0
+        #: Next iteration to compute (chain[frontier] is the newest block).
+        self.frontier = 0
+        #: Virtual/wall seconds spent blocked in window waits this epoch
+        #: (the adaptive controller's widening signal).
+        self.epoch_wait = 0.0
+        #: Per-destination send sequence numbers (protocol-order stamps).
+        self._send_seq: Dict[int, int] = {dst: 0 for dst in self.audience}
+        for k in self.needed:
+            block0 = program.initial_block(k)
+            self.actual[(k, 0)] = block0
+            self.history[k] = HistoryRing(self.hist_cap, initial=(0, block0))
+        if not self.needed:
+            # No remote inputs exist; every iteration is vacuously
+            # verified, so the windows never block.
+            self.verified_upto = program.iterations
+
+    # ------------------------------------------------------------ windows
+    def pre_send_horizon(self, t: int) -> int:
+        """Oldest iteration that must be verified before X_j(t) is sent."""
+        gate = self._pre_send_horizon or default_pre_send_horizon
+        return gate(self, t)
+
+    def window_ok(self, t: int) -> bool:
+        """May iteration ``t`` start given the rank's forward window?"""
+        gate = self._window_ok or default_window_ok
+        return gate(self, t)
+
+    # ---------------------------------------------------------- bookkeeping
+    def record_arrival(self, k: int, t: int, block: Block) -> None:
+        """Store an actual block and advance the verified horizon."""
+        expected = len(self.needed)
+        self.actual[(k, t)] = block
+        self.history[k].append(t, block)
+        self.missing[t] = self.missing.get(t, expected) - 1
+        while self.missing.get(self.verified_upto + 1, expected) == 0:
+            self.verified_upto += 1
+
+    def prune(self) -> None:
+        """Drop bookkeeping no correction can ever need again."""
+        horizon = min(self.verified_upto, self.frontier)
+        for t in [t for t in self.inputs_used if t < horizon]:
+            del self.inputs_used[t]
+        for key in [key for key in self.actual if key[1] < horizon]:
+            del self.actual[key]
+        for t in [t for t in self.missing if t < horizon]:
+            del self.missing[t]
+        for t in [t for t in self.chain if t < horizon - 1]:
+            del self.chain[t]
+
+    def next_seq(self, dst: int) -> int:
+        """Stamp (and advance) the send sequence number for ``dst``."""
+        seq = self._send_seq.setdefault(dst, 0)
+        self._send_seq[dst] = seq + 1
+        return seq
+
+    # ------------------------------------------------------------ protocol
+    def run(self) -> Generator:
+        """The full protocol for this rank, as an effect generator.
+
+        Yields :mod:`repro.engine.events` effects; ``Recv``/``TryRecv``
+        expect an :class:`Arrival` (or None) sent back.  Returns the
+        rank's final block.
+        """
+        prog = self.program
+        j = self.rank
+        T = prog.iterations
+        stats = self.stats
+
+        for t in range(T):
+            # 1. Opportunistically absorb whatever has already arrived.
+            while True:
+                arrival = yield TryRecv()
+                if arrival is None:
+                    break
+                yield from self._on_arrival(arrival)
+
+            # 2a. Pre-send window: Fig. 3 sends X_j(t) only after the
+            #     previous iteration's trailing verification loop, so any
+            #     correction of X_j(t) lands *before* it goes on the wire.
+            while self.verified_upto < self.pre_send_horizon(t):
+                arrival = yield Recv(phase="comm", iteration=t)
+                self.epoch_wait += arrival.waited
+                yield from self._on_arrival(arrival)
+
+            # 2b. Broadcast X_j(t) (iteration 0 is known everywhere from
+            #     the initial read; no message needed).
+            if t > 0 and self.audience:
+                if any(key[1] < t for key in self.spec_used):
+                    stats.tainted_sends += 1
+                nbytes = prog.block_nbytes(j)
+                for dst in self.audience:
+                    yield Send(
+                        dst=dst,
+                        payload=self.chain[t],
+                        iteration=t,
+                        nbytes=nbytes,
+                        seq=self.next_seq(dst),
+                    )
+                pack = prog.send_ops(j) * len(self.audience)
+                if pack > 0:
+                    # Sender-side software cost (PVM pack); serial with
+                    # the sender's own progress, like the real stack.
+                    yield Charge(pack, phase="comm", iteration=t)
+
+            # 2c. Post-send window: with fw = 0 this is the blocking
+            #     receive of Fig. 1; with fw >= 1 a no-op beyond 2a.
+            while not self.window_ok(t):
+                arrival = yield Recv(phase="comm", iteration=t)
+                self.epoch_wait += arrival.waited
+                yield from self._on_arrival(arrival)
+
+            # 3. Assemble inputs, speculating what is missing.
+            inputs: Dict[int, Block] = {j: self.chain[t]}
+            for k in sorted(self.needed):
+                known = self.actual.get((k, t))
+                if known is not None:
+                    inputs[k] = known
+                else:
+                    times, values = self.history[k].series()
+                    spec = prog.speculate(j, k, times, values, t)
+                    yield Charge(
+                        prog.speculate_ops(j, k), phase="spec", iteration=t
+                    )
+                    self.spec_used[(k, t)] = spec
+                    inputs[k] = spec
+                    stats.spec_made += 1
+                    yield Speculated(peer=k, iteration=t)
+            self.inputs_used[t] = inputs
+
+            # 4. Compute X_j(t+1).
+            yield ComputeBegin(
+                iteration=t, verified_upto=self.verified_upto, fw=self.fw
+            )
+            new_block = prog.compute(j, inputs, t)
+            yield Charge(prog.compute_ops(j), phase="compute", iteration=t)
+            self.chain[t + 1] = new_block
+            self.frontier = t + 1
+            stats.iterations += 1
+            self.prune()
+            yield IterationDone(iteration=t)
+
+        # 5. Final verification: wait out all stragglers so every
+        #    speculation is checked and corrected before reporting.
+        while self.verified_upto < T - 1:
+            arrival = yield Recv(phase="comm", iteration=T - 1)
+            yield from self._on_arrival(arrival)
+
+        return self.chain[T]
+
+    # ------------------------------------------------------------- arrivals
+    def _on_arrival(self, arrival: Arrival) -> Generator:
+        """Store an arrival; verify (and maybe correct) a speculation."""
+        prog = self.program
+        j = self.rank
+        stats = self.stats
+        k, t = arrival.src, arrival.iteration
+        if k not in self.needed:  # pragma: no cover - audience routing
+            return
+        actual = arrival.payload
+        self.record_arrival(k, t, actual)
+
+        spec = self.spec_used.pop((k, t), None)
+        if spec is None:
+            return  # arrived before we needed it: nothing to verify
+
+        yield Verified(peer=k, iteration=t)
+        stats.checks += 1
+        own = self.chain[t]
+        # The check numerics run before their Charge so wall-clock
+        # transports attribute the real check time to the right phase;
+        # under DES the virtual timeline is identical either way (no
+        # effect separates the two).
+        error = prog.check(j, k, spec, actual, own)
+        yield Charge(prog.check_ops(j, k), phase="check", iteration=t)
+        if error <= prog.threshold:
+            stats.spec_accepted += 1
+            return
+        stats.spec_rejected += 1
+        yield from self._cascade(k, t, spec, actual)
+
+    def _cascade(
+        self, k: int, t: int, spec: Block, actual: Block
+    ) -> Generator:
+        """Repair iteration ``t``; recompute everything after it."""
+        prog = self.program
+        j = self.rank
+        stats = self.stats
+        yield CascadeBegin(iteration=t)
+
+        # Repair iteration t itself via the (possibly incremental)
+        # application correction hook.
+        inputs = self.inputs_used[t]
+        corrected, ops = prog.correct(
+            j, self.chain[t + 1], inputs, k, spec, actual, t
+        )
+        inputs[k] = actual
+        yield Charge(ops, phase="correct", iteration=t)
+        self.chain[t + 1] = corrected
+        stats.recomputes += 1
+        yield Corrected(peer=k, iteration=t)
+
+        if self.cascade == "none":
+            yield CascadeEnd()
+            return
+
+        # Cascade: iterations t+1 .. frontier-1 consumed the old chain.
+        for t2 in range(t + 1, self.frontier):
+            yield CascadeStep(iteration=t2)
+            yield Corrected(peer=k, iteration=t2)
+            inputs2 = self.inputs_used[t2]
+            inputs2[j] = self.chain[t2]
+            for k2 in sorted(self.needed):
+                if (k2, t2) in self.spec_used:
+                    times, values = self.history[k2].series()
+                    respec = prog.speculate(j, k2, times, values, t2)
+                    yield Charge(
+                        prog.speculate_ops(j, k2), phase="correct", iteration=t2
+                    )
+                    self.spec_used[(k2, t2)] = respec
+                    inputs2[k2] = respec
+                    stats.spec_made += 1
+                    yield Speculated(peer=k2, iteration=t2, in_cascade=True)
+            new_block = prog.compute(j, inputs2, t2)
+            yield Charge(prog.compute_ops(j), phase="correct", iteration=t2)
+            self.chain[t2 + 1] = new_block
+            stats.recomputes += 1
+        yield CascadeEnd()
+
+
+class ReceiveDrivenEngine:
+    """The Fig. 7 baseline (incremental compute, no speculation) over
+    the same effect alphabet and transports as :class:`SpecEngine`.
+
+    Per iteration: broadcast the own block, start the accumulator from
+    local state, then absorb each message *as it arrives* (any order);
+    when all expected blocks are in, finish the update and move on.
+    """
+
+    def __init__(
+        self,
+        program: Any,  # IncrementalProgram (avoids a core import cycle)
+        rank: int,
+        needed: FrozenSet[int],
+        audience: Sequence[int],
+        stats: Optional[SpecStats] = None,
+    ) -> None:
+        # Duck-typed (an isinstance against IncrementalProgram would
+        # cycle the import graph): the three kernels are the contract.
+        for kernel in ("begin", "absorb", "finish"):
+            if not callable(getattr(program, kernel, None)):
+                raise TypeError(
+                    "ReceiveDrivenEngine needs an IncrementalProgram "
+                    f"(missing {kernel!r})"
+                )
+        self.program = program
+        self.rank = rank
+        self.needed = frozenset(needed)
+        self.audience = list(audience)
+        self.stats = stats if stats is not None else SpecStats(rank=rank)
+        self._send_seq: Dict[int, int] = {dst: 0 for dst in self.audience}
+
+    def next_seq(self, dst: int) -> int:
+        """Stamp (and advance) the send sequence number for ``dst``."""
+        seq = self._send_seq.setdefault(dst, 0)
+        self._send_seq[dst] = seq + 1
+        return seq
+
+    def run(self) -> Generator:
+        """The receive-driven protocol as an effect generator."""
+        prog = self.program
+        j = self.rank
+        T = prog.iterations
+        stats = self.stats
+        needed = sorted(self.needed)
+
+        own = prog.initial_block(j)
+        #: Blocks known for iteration 0 (the initial read).
+        initial = {k: prog.initial_block(k) for k in needed}
+
+        for t in range(T):
+            if t > 0 and self.audience:
+                nbytes = prog.block_nbytes(j)
+                for dst in self.audience:
+                    yield Send(
+                        dst=dst,
+                        payload=own,
+                        iteration=t,
+                        nbytes=nbytes,
+                        seq=self.next_seq(dst),
+                    )
+                pack = prog.send_ops(j) * len(self.audience)
+                if pack > 0:
+                    yield Charge(pack, phase="comm", iteration=t)
+
+            acc = prog.begin(j, own, t)
+            yield Charge(prog.begin_ops(j), phase="compute", iteration=t)
+
+            remaining = set(needed)
+            while remaining:
+                if t == 0:
+                    k = remaining.pop()
+                    block = initial[k]
+                else:
+                    arrival = yield Recv(
+                        phase="comm", iteration=t, match=(VARS, t)
+                    )
+                    k = arrival.src
+                    if k not in remaining:  # pragma: no cover - tags prevent
+                        raise RuntimeError(f"duplicate block from rank {k}")
+                    remaining.discard(k)
+                    block = arrival.payload
+                acc = prog.absorb(j, acc, k, block, t)
+                yield Charge(
+                    prog.absorb_ops(j, k), phase="compute", iteration=t
+                )
+
+            own = prog.finish(j, acc, own, t)
+            yield Charge(prog.finish_ops(j), phase="compute", iteration=t)
+            stats.iterations += 1
+            yield IterationDone(iteration=t)
+
+        return own

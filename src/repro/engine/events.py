@@ -1,0 +1,196 @@
+"""The sans-I/O engine's effect alphabet.
+
+The :class:`~repro.engine.core.SpecEngine` never performs I/O, never
+reads a clock and never charges time.  Instead its ``run()`` generator
+*yields* small immutable effect objects and receives the outcome back
+via ``generator.send(...)``.  A transport (DES, loopback, pipes)
+interprets each effect against its medium and resumes the engine.
+
+Two groups:
+
+**I/O + cost effects** — require transport work (and, for
+:class:`Recv` / :class:`TryRecv`, a response):
+
+=============  =============================================
+:class:`Send`      hand one protocol message to the transport
+:class:`Recv`      block until a protocol message is available
+:class:`TryRecv`   non-blocking arrival check
+:class:`Charge`    account ``ops`` of compute to a phase
+=============  =============================================
+
+**Protocol events** — pure notifications (speculate / compute /
+verify / correct / cascade); transports forward them to observers
+(the runtime :class:`~repro.analysis.sanitizer.ProtocolSanitizer`,
+the :class:`~repro.trace.events.EventLog` consumed by specflow's
+trace replay).  Because every backend drives the same engine, all
+observers hook one code path.
+
+Message identity is ``(family, iteration)`` plus a per-destination
+``seq`` stamped by the engine.  Sequenced sends are what fixes the
+SPF111 race: a transport that honours ``seq`` (the pipe transport
+does, the DES network is per-pair FIFO by construction) can never
+deliver two same-family messages to a wildcard receive in an order
+the protocol did not produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+#: Message-tag family used by the speculative protocol's variable
+#: exchange (the single authoritative definition; drivers re-export it).
+VARS = "vars"
+
+
+# --------------------------------------------------------------------------
+# I/O + cost effects
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Send:
+    """Hand one protocol message to the transport (asynchronous)."""
+
+    dst: int
+    payload: Any
+    iteration: int
+    nbytes: int
+    #: Per-destination monotonic sequence number (0, 1, 2, ... within
+    #: one src -> dst conversation).  Transports that can reorder
+    #: deliveries use it to restore protocol order at the receiver.
+    seq: int
+    family: str = VARS
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Block until a protocol message is available; respond with
+    an :class:`Arrival`.
+
+    ``match`` of None is the wildcard receive (any family/iteration);
+    a ``(family, iteration)`` pair restricts matching (used by the
+    receive-driven baseline, which consumes exactly iteration ``t``).
+    """
+
+    phase: str
+    iteration: int
+    match: Optional[Tuple[str, int]] = None
+
+
+@dataclass(frozen=True)
+class TryRecv:
+    """Non-blocking receive; respond with an :class:`Arrival` or None."""
+
+
+@dataclass(frozen=True)
+class Charge:
+    """Account ``ops`` operations of compute work to ``phase``.
+
+    The DES transport converts ops to virtual seconds at the
+    processor's capacity; the pipe transport attributes the *real*
+    wall time since the previous effect boundary (the numerics just
+    executed inside the engine) to the phase.
+    """
+
+    ops: float
+    phase: str
+    iteration: int
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """Response to :class:`Recv` / :class:`TryRecv`.
+
+    ``waited`` is how long the receive blocked (virtual seconds under
+    DES, wall seconds on pipes); the engine accumulates it into the
+    adaptive controller's epoch-wait signal.
+    """
+
+    src: int
+    iteration: int
+    payload: Any
+    waited: float = 0.0
+
+
+# --------------------------------------------------------------------------
+# Protocol events (observer notifications; no response)
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Speculated:
+    """A missing input was predicted from the peer's history ring."""
+
+    peer: int
+    iteration: int
+    #: Re-speculations inside a correction cascade notify the
+    #: sanitizer but are not separate trace events (the enclosing
+    #: ``correct`` event already covers the step) — mirrors the
+    #: original drivers' recording discipline.
+    in_cascade: bool = False
+
+
+@dataclass(frozen=True)
+class ComputeBegin:
+    """One iteration's compute step is entered (forward-window probe)."""
+
+    iteration: int
+    verified_upto: int
+    fw: int
+
+
+@dataclass(frozen=True)
+class Verified:
+    """A speculated input is about to be checked against the actual."""
+
+    peer: int
+    iteration: int
+
+
+@dataclass(frozen=True)
+class Corrected:
+    """A rejected speculation was repaired at ``iteration``."""
+
+    peer: int
+    iteration: int
+
+
+@dataclass(frozen=True)
+class CascadeBegin:
+    """A correction cascade opens at ``iteration``."""
+
+    iteration: int
+
+
+@dataclass(frozen=True)
+class CascadeStep:
+    """The cascade recomputes ``iteration`` (strictly ascending)."""
+
+    iteration: int
+
+
+@dataclass(frozen=True)
+class CascadeEnd:
+    """The correction cascade closed."""
+
+
+@dataclass(frozen=True)
+class IterationDone:
+    """Iteration ``iteration`` completed (host hook: adaptive window
+    retuning, progress callbacks)."""
+
+    iteration: int
+
+
+#: Every effect the engine may yield (for transports that dispatch).
+Effect = (
+    Send,
+    Recv,
+    TryRecv,
+    Charge,
+    Speculated,
+    ComputeBegin,
+    Verified,
+    Corrected,
+    CascadeBegin,
+    CascadeStep,
+    CascadeEnd,
+    IterationDone,
+)

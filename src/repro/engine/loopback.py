@@ -1,0 +1,232 @@
+"""Loopback transport: the whole protocol in one process, no clock.
+
+The cheapest possible medium — per-rank FIFO queues and a
+deterministic round-robin scheduler — useful for
+
+* unit tests of protocol *logic* (what is sent, speculated, verified,
+  corrected) without dragging in the DES kernel or real processes;
+* toys and teaching: ``run_loopback(program, fw=1)`` runs the full
+  speculative protocol on any :class:`SyncIterativeProgram` in
+  microseconds;
+* differential testing: loopback, DES and pipe backends drive the
+  *same* :class:`~repro.engine.core.SpecEngine`, so their speculation
+  counters and final numerics must agree wherever timing does not
+  feed back into the numerics.
+
+Delivery is immediate (messages become receivable the moment they are
+sent) and per-pair FIFO.  The round-robin schedule itself produces
+speculative executions: a rank scheduled ahead of its peers reaches
+iteration ``t`` before their ``X(t)`` was sent, speculates, runs on,
+and verifies when the scheduler hands the peers their turn — the
+protocol's full speculate/verify/correct path, deterministically,
+with no clocks.  Charges accumulate into per-rank ``phase_ops``
+tallies (the loopback's "time").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.core.results import SpecStats
+from repro.engine.core import ReceiveDrivenEngine, SpecEngine, topology
+from repro.engine.events import (
+    Arrival,
+    Charge,
+    ComputeBegin,
+    Corrected,
+    Recv,
+    Send,
+    Speculated,
+    TryRecv,
+    Verified,
+)
+
+
+class LoopbackDeadlock(RuntimeError):
+    """Every unfinished rank is blocked on a receive no queued or
+    future message can satisfy."""
+
+
+#: One queued message: (src, family, iteration, payload).
+_QueuedMessage = Tuple[int, str, int, Any]
+
+
+class LoopbackRunner:
+    """Runs one engine per rank over in-process FIFO queues.
+
+    Parameters
+    ----------
+    engines:
+        rank -> engine (``SpecEngine`` or ``ReceiveDrivenEngine``);
+        every ``Send.dst`` must name another engine in the mapping.
+    event_log:
+        Optional :class:`~repro.trace.events.EventLog`; protocol
+        events are recorded with the scheduler's step counter as the
+        logical clock, ready for ``repro analyze --trace`` replay.
+    """
+
+    def __init__(self, engines: Dict[int, Any], event_log: Any = None) -> None:
+        if not engines:
+            raise ValueError("need at least one engine")
+        self.engines = dict(engines)
+        self.event_log = event_log
+        self.queues: Dict[int, Deque[_QueuedMessage]] = {
+            rank: deque() for rank in self.engines
+        }
+        #: rank -> {phase: ops} accumulated from Charge effects.
+        self.phase_ops: Dict[int, Dict[str, float]] = {
+            rank: {} for rank in self.engines
+        }
+        self._step = 0
+
+    # -------------------------------------------------------------- running
+    def run(self) -> Dict[int, Any]:
+        """Execute every rank to completion; rank -> final block."""
+        gens = {rank: engine.run() for rank, engine in self.engines.items()}
+        response: Dict[int, Optional[Arrival]] = {rank: None for rank in gens}
+        blocked: Dict[int, Recv] = {}
+        finals: Dict[int, Any] = {}
+
+        while len(finals) < len(gens):
+            progress = False
+            for rank in sorted(gens):
+                if rank in finals:
+                    continue
+                if rank in blocked:
+                    arrival = self._match(rank, blocked[rank])
+                    if arrival is None:
+                        continue  # still blocked
+                    response[rank] = arrival
+                    del blocked[rank]
+                    progress = True
+                # Step this rank until it blocks or finishes.
+                while True:
+                    try:
+                        effect = gens[rank].send(response[rank])
+                    except StopIteration as stop:
+                        finals[rank] = stop.value
+                        progress = True
+                        break
+                    response[rank] = None
+                    progress = True
+                    kind = type(effect)
+                    if kind is Send:
+                        self._deliver(rank, effect)
+                    elif kind is TryRecv:
+                        response[rank] = self._match_wildcard(rank)
+                    elif kind is Recv:
+                        arrival = self._match(rank, effect)
+                        if arrival is None:
+                            blocked[rank] = effect
+                            break
+                        response[rank] = arrival
+                    elif kind is Charge:
+                        tally = self.phase_ops[rank]
+                        tally[effect.phase] = tally.get(effect.phase, 0.0) + effect.ops
+                    else:
+                        self._observe(rank, effect)
+            if not progress:
+                waiting = {
+                    rank: (eff.match, eff.iteration)
+                    for rank, eff in sorted(blocked.items())
+                }
+                raise LoopbackDeadlock(
+                    f"no rank can make progress; blocked receives: {waiting}"
+                )
+        return finals
+
+    # ------------------------------------------------------------ messaging
+    def _deliver(self, src: int, effect: Send) -> None:
+        if effect.dst not in self.queues:
+            raise ValueError(f"send to unknown rank {effect.dst}")
+        self._observe_message("send", src, peer=effect.dst,
+                              family=effect.family, iteration=effect.iteration)
+        self.queues[effect.dst].append(
+            (src, effect.family, effect.iteration, effect.payload)
+        )
+
+    def _match_wildcard(self, rank: int) -> Optional[Arrival]:
+        queue = self.queues[rank]
+        if not queue:
+            return None
+        src, family, iteration, payload = queue.popleft()
+        self._observe_message("recv", rank, peer=src,
+                              family=family, iteration=iteration)
+        return Arrival(src=src, iteration=iteration, payload=payload)
+
+    def _match(self, rank: int, effect: Recv) -> Optional[Arrival]:
+        if effect.match is None:
+            return self._match_wildcard(rank)
+        queue = self.queues[rank]
+        want_family, want_iteration = effect.match
+        for i, (src, family, iteration, payload) in enumerate(queue):
+            if family == want_family and iteration == want_iteration:
+                del queue[i]
+                self._observe_message("recv", rank, peer=src,
+                                      family=family, iteration=iteration)
+                return Arrival(src=src, iteration=iteration, payload=payload)
+        return None
+
+    # ------------------------------------------------------------ observers
+    def _tick(self) -> float:
+        self._step += 1
+        return float(self._step)
+
+    def _observe_message(
+        self, kind: str, rank: int, peer: int, family: str, iteration: int
+    ) -> None:
+        if self.event_log is not None:
+            self.event_log.record(
+                kind, rank, self._tick(), peer=peer,
+                family=family, iteration=iteration,
+            )
+
+    def _observe(self, rank: int, effect: Any) -> None:
+        log = self.event_log
+        if log is None:
+            return
+        kind = type(effect)
+        if kind is Speculated and not effect.in_cascade:
+            log.record("speculate", rank, self._tick(), peer=effect.peer,
+                       family="vars", iteration=effect.iteration)
+        elif kind is ComputeBegin:
+            log.record("compute", rank, self._tick(),
+                       iteration=effect.iteration)
+        elif kind is Verified:
+            log.record("verify", rank, self._tick(), peer=effect.peer,
+                       family="vars", iteration=effect.iteration)
+        elif kind is Corrected:
+            log.record("correct", rank, self._tick(), peer=effect.peer,
+                       family="vars", iteration=effect.iteration)
+
+
+def run_loopback(
+    program: Any,
+    fw: int = 1,
+    cascade: str = "recompute",
+    receive_driven: bool = False,
+    event_log: Any = None,
+) -> Tuple[Dict[int, Any], list[SpecStats], LoopbackRunner]:
+    """Run ``program`` on the loopback transport.
+
+    Returns ``(final_blocks, stats, runner)`` — the per-rank final
+    blocks, the speculation counters, and the runner (whose
+    ``phase_ops`` tallies and queues tests may inspect).
+    """
+    needed, audience = topology(program)
+    stats = [SpecStats(rank=r) for r in range(program.nprocs)]
+    engines: Dict[int, Any] = {}
+    for rank in range(program.nprocs):
+        if receive_driven:
+            engines[rank] = ReceiveDrivenEngine(
+                program, rank, needed[rank], audience[rank], stats=stats[rank]
+            )
+        else:
+            engines[rank] = SpecEngine(
+                program, rank, needed[rank], audience[rank],
+                fw=fw, cascade=cascade, stats=stats[rank],
+            )
+    runner = LoopbackRunner(engines, event_log=event_log)
+    finals = runner.run()
+    return finals, stats, runner

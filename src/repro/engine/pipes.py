@@ -1,0 +1,269 @@
+"""Pipe transport: the engine on real OS processes.
+
+Interprets the engine's effects against
+:class:`multiprocessing.connection.Connection` pipes, with injected
+per-message latency standing in for the paper's slow Ethernet.
+
+Delivery-time gating, no busy-wait
+----------------------------------
+Injected latency is enforced at the *receiver*: each wire message
+carries a ``deliver_at`` wall-clock stamp and does not count as
+arrived until that instant passes — exactly how the simulator's delay
+networks behave.  Blocking receives park in
+:func:`multiprocessing.connection.wait` (``select`` under the hood)
+until either new bytes arrive or the earliest pending stamp matures;
+there is **no sleep-poll loop** (the old ``_Mailbox.take_blocking``
+spun at 1e-4 s), so a blocked worker burns ~zero CPU — asserted by
+``tests/test_engine_pipes.py``.
+
+Sequenced, FIFO-restored delivery (the SPF111 fix)
+--------------------------------------------------
+Every message carries the engine's per-destination sequence number.
+The receiver checks contiguity per peer (a gap or repeat raises
+:class:`~repro.engine.transport.TransportError` instead of silently
+mismatching conversations) and *floors each stamp at its
+predecessor's*: jitter can no longer reorder one peer's ``vars``
+stream in front of a wildcard receive, which was specflow's SPF111
+race.  The channel behaves as FIFO-with-variable-delay, matching the
+protocol's happens-before model.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import connection
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.events import (
+    VARS,
+    Arrival,
+    Charge,
+    ComputeBegin,
+    Corrected,
+    Recv,
+    Send,
+    Speculated,
+    TryRecv,
+    Verified,
+)
+from repro.engine.transport import TransportError
+from repro.trace.events import TraceEvent
+
+#: One buffered in-box entry: (effective_deliver_at, iteration, payload).
+_Pending = Tuple[float, int, Any]
+
+
+class PipeTransport:
+    """One worker's bridge between a sans-I/O engine and real pipes.
+
+    Parameters
+    ----------
+    rank:
+        This worker's rank (event attribution).
+    conns:
+        peer rank -> duplex :class:`Connection`.
+    latency / jitter:
+        Injected one-way delay in wall seconds and the log-normal
+        sigma multiplying it per message.
+    rng:
+        Seeded generator for the jitter stream (None = no jitter).
+    record_events:
+        Record protocol :class:`TraceEvent` s (times relative to
+        :meth:`start`) for ``repro analyze --trace`` replay.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        conns: Mapping[int, Any],
+        latency: float = 0.0,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        record_events: bool = False,
+    ) -> None:
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be >= 0")
+        self.rank = rank
+        self._conns: Dict[int, Any] = dict(conns)
+        self._src_by_conn = {id(conn): src for src, conn in self._conns.items()}
+        self._wait_list: List[Any] = list(self._conns.values())
+        self.latency = latency
+        self.jitter = jitter
+        self._rng = rng
+        self.record_events = record_events
+        #: Per-peer FIFO of gated messages, already sequence-checked.
+        self._inbox: Dict[int, List[_Pending]] = {src: [] for src in self._conns}
+        #: Next expected wire sequence number per peer.
+        self._expected_seq: Dict[int, int] = {src: 0 for src in self._conns}
+        #: FIFO floor: a message never becomes deliverable before its
+        #: per-peer predecessor (kills jitter-induced reordering).
+        self._deliver_floor: Dict[int, float] = {src: 0.0 for src in self._conns}
+        self.events: List[TraceEvent] = []
+        self._event_seq = 0
+        self.phase_seconds: Dict[str, float] = {}
+        self.t0 = time.monotonic()
+        self._mark = self.t0
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Re-stamp the protocol start (call right after the barrier)."""
+        self.t0 = time.monotonic()
+        self._mark = self.t0
+        self._event_seq = 0
+        self.events.clear()
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall time since :meth:`start`."""
+        return time.monotonic() - self.t0
+
+    # ------------------------------------------------------------- handlers
+    def send(self, effect: Send) -> None:
+        delay = self.latency
+        if self.jitter > 0 and self._rng is not None:
+            delay *= float(np.exp(self._rng.normal(0.0, self.jitter)))
+        self._emit("send", peer=effect.dst, iteration=effect.iteration)
+        conn = self._conns.get(effect.dst)
+        if conn is None:
+            raise TransportError(f"no pipe to rank {effect.dst}")
+        conn.send((effect.seq, time.monotonic() + delay, effect.iteration,
+                   effect.payload))
+
+    def charge(self, effect: Charge) -> None:
+        """Attribute the wall time since the last boundary to the phase.
+
+        The numerics whose declared cost this is have just executed
+        inside the engine, so the elapsed real time *is* the phase's
+        cost on this backend; ``effect.ops`` is deliberately unused.
+        """
+        now = time.monotonic()
+        self.phase_seconds[effect.phase] = (
+            self.phase_seconds.get(effect.phase, 0.0) + (now - self._mark)
+        )
+        self._mark = now
+
+    def try_recv(self, _effect: TryRecv) -> Optional[Arrival]:
+        self._pump()
+        return self._pop_deliverable(time.monotonic(), match=None)
+
+    def recv(self, effect: Recv) -> Arrival:
+        entry = time.monotonic()
+        while True:
+            self._pump()
+            now = time.monotonic()
+            arrival = self._pop_deliverable(now, match=effect.match)
+            if arrival is not None:
+                end = time.monotonic()
+                self.phase_seconds[effect.phase] = (
+                    self.phase_seconds.get(effect.phase, 0.0) + (end - entry)
+                )
+                self._mark = end
+                return Arrival(
+                    src=arrival.src, iteration=arrival.iteration,
+                    payload=arrival.payload, waited=end - entry,
+                )
+            # Park until new bytes arrive or the earliest gated message
+            # matures.  No polling loop: `connection.wait` blocks in
+            # select(); a pure latency wait is one sleep to a deadline.
+            timeout = self._next_maturity(now)
+            connection.wait(self._wait_list, timeout)
+
+    def notify(self, effect: Any) -> None:
+        kind = type(effect)
+        if kind is Speculated:
+            if not effect.in_cascade:
+                self._emit("speculate", peer=effect.peer,
+                           iteration=effect.iteration)
+        elif kind is ComputeBegin:
+            self._emit("compute", iteration=effect.iteration)
+        elif kind is Verified:
+            self._emit("verify", peer=effect.peer, iteration=effect.iteration)
+        elif kind is Corrected:
+            self._emit("correct", peer=effect.peer, iteration=effect.iteration)
+        # Cascade markers and IterationDone have no wall-clock observer.
+
+    # ------------------------------------------------------------- internals
+    def _pump(self) -> None:
+        """Drain every pipe into the sequence-checked, gated inbox."""
+        for src, conn in self._conns.items():
+            while conn.poll():
+                seq, deliver_at, iteration, payload = conn.recv()
+                expected = self._expected_seq[src]
+                if seq != expected:
+                    raise TransportError(
+                        f"rank {self.rank}: wire sequence break from rank "
+                        f"{src}: got seq {seq}, expected {expected}"
+                    )
+                self._expected_seq[src] = expected + 1
+                effective = max(deliver_at, self._deliver_floor[src])
+                self._deliver_floor[src] = effective
+                self._inbox[src].append((effective, iteration, payload))
+
+    def _pop_deliverable(
+        self, now: float, match: Optional[Tuple[str, int]]
+    ) -> Optional[Arrival]:
+        """Oldest matured message, respecting per-peer FIFO order."""
+        best_src: Optional[int] = None
+        best_at = float("inf")
+        for src in self._inbox:
+            queue = self._inbox[src]
+            if not queue:
+                continue
+            effective, iteration, _payload = queue[0]
+            if effective > now:
+                continue
+            if match is not None and (VARS, iteration) != match:
+                continue
+            if effective < best_at or (effective == best_at
+                                       and (best_src is None or src < best_src)):
+                best_src, best_at = src, effective
+        if best_src is None:
+            return None
+        _effective, iteration, payload = self._inbox[best_src].pop(0)
+        self._emit("recv", peer=best_src, iteration=iteration)
+        return Arrival(src=best_src, iteration=iteration, payload=payload)
+
+    def _next_maturity(self, now: float) -> Optional[float]:
+        """Seconds until the earliest gated message matures (None =
+        nothing buffered; wait for bytes indefinitely)."""
+        stamps = [queue[0][0] for queue in self._inbox.values() if queue]
+        if not stamps:
+            return None
+        return max(0.0, min(stamps) - now)
+
+    def _emit(
+        self, kind: str, peer: Optional[int] = None,
+        iteration: Optional[int] = None,
+    ) -> None:
+        if not self.record_events:
+            return
+        self.events.append(
+            TraceEvent(
+                rank=self.rank, seq=self._event_seq, kind=kind,
+                time=time.monotonic() - self.t0,
+                peer=peer, family=VARS, iteration=iteration,
+            )
+        )
+        self._event_seq += 1
+
+
+def full_mesh(ctx: Any, p: int) -> Dict[int, Dict[int, Any]]:
+    """Duplex pipe mesh: ``mesh[i][j]`` is i's endpoint to j."""
+    mesh: Dict[int, Dict[int, Any]] = {i: {} for i in range(p)}
+    for i in range(p):
+        for j in range(i + 1, p):
+            a, b = ctx.Pipe(duplex=True)
+            mesh[i][j] = a
+            mesh[j][i] = b
+    return mesh
+
+
+def close_mesh(endpoints: Iterable[Any]) -> None:
+    """Best-effort close of a set of pipe endpoints."""
+    for conn in endpoints:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass

@@ -17,6 +17,7 @@ from repro.harness.experiments import (
     fig8_nbody_speedup,
     fig9_model_vs_measured,
     run_nbody,
+    run_nbody_mp,
     table2_phase_times,
     table3_threshold_sweep,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "format_table",
     "get_experiment",
     "run_nbody",
+    "run_nbody_mp",
     "table2_phase_times",
     "table3_threshold_sweep",
 ]

@@ -138,6 +138,58 @@ def run_nbody(
     return program, result
 
 
+def run_nbody_mp(
+    p: int,
+    fw: int,
+    iterations: Optional[int] = None,
+    n_particles: Optional[int] = None,
+    threshold: Optional[float] = None,
+    latency: float = 0.05,
+    jitter: float = 0.0,
+    config: Optional[dict[str, Any]] = None,
+    record_events: bool = False,
+    timeout: float = 300.0,
+) -> tuple[NBodyProgram, Any]:
+    """One N-body run on **real OS processes** (the mp backend).
+
+    Same initial conditions and protocol as :func:`run_nbody` — the
+    identical :class:`~repro.engine.SpecEngine` runs per rank — but
+    interpreted over :class:`~repro.engine.pipes.PipeTransport` with
+    ``latency`` wall-seconds of injected one-way delay instead of the
+    simulated WUSTL platform.  Capacities are uniform (real cores);
+    the second element of the return is an
+    :class:`~repro.parallel.runner.MPRunResult`.
+    """
+    from repro.parallel import MPRunner  # deferred: spawns processes
+
+    cfg = dict(HEADLINE)
+    if config:
+        cfg.update(config)
+    n = n_particles if n_particles is not None else cfg["n_particles"]
+    iters = iterations if iterations is not None else cfg["iterations"]
+    theta = threshold if threshold is not None else cfg["threshold"]
+
+    system = uniform_cube(n, seed=cfg["ic_seed"], softening=cfg["softening"])
+    program = NBodyProgram(
+        system,
+        [1.0] * p,
+        iterations=iters,
+        dt=cfg["dt"],
+        threshold=theta,
+    )
+    runner = MPRunner(
+        program,
+        fw=fw,
+        latency=latency,
+        jitter=jitter,
+        seed=cfg["seed"],
+        cascade=cfg["cascade"],
+        record_events=record_events,
+    )
+    result = runner.run(timeout=timeout)
+    return program, result
+
+
 # --------------------------------------------------------------------------
 # FIG2 — two-processor timelines
 # --------------------------------------------------------------------------

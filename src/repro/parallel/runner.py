@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.core.program import SyncIterativeProgram
+from repro.engine.pipes import close_mesh, full_mesh
 from repro.parallel.worker import WorkerReport, worker_main
 from repro.trace.events import EventLog
 
@@ -74,7 +75,12 @@ class MPRunner:
     program:
         The application; must be picklable (all bundled apps are).
     fw:
-        Forward window, 0 (blocking) or 1 (speculative).
+        Forward window: 0 (blocking) or any depth >= 1 (speculative).
+        The engine owns the cascade machinery, so FW >= 2 runs on real
+        processes exactly as in the simulator.
+    cascade:
+        Correction cascade policy, ``"recompute"`` (default) or
+        ``"none"`` (see :class:`~repro.core.driver.SpeculativeDriver`).
     latency:
         Injected one-way message delay in wall seconds (0 = pipes at
         native speed).
@@ -101,13 +107,17 @@ class MPRunner:
         seed: int = 0,
         start_method: Optional[str] = None,
         record_events: bool = False,
+        cascade: str = "recompute",
     ) -> None:
-        if fw not in (0, 1):
-            raise ValueError("the multiprocessing backend supports fw in {0, 1}")
+        if fw < 0:
+            raise ValueError("fw must be >= 0")
+        if cascade not in ("recompute", "none"):
+            raise ValueError(f"unknown cascade policy {cascade!r}")
         if latency < 0 or jitter < 0:
             raise ValueError("latency and jitter must be >= 0")
         self.program = program
         self.fw = fw
+        self.cascade = cascade
         self.latency = latency
         self.jitter = jitter
         self.seed = seed
@@ -120,12 +130,7 @@ class MPRunner:
         ctx = self._ctx
 
         # Full mesh of duplex pipes: mesh[i][j] is i's endpoint to j.
-        mesh: dict[int, dict[int, Any]] = {i: {} for i in range(p)}
-        for i in range(p):
-            for j in range(i + 1, p):
-                a, b = ctx.Pipe(duplex=True)
-                mesh[i][j] = a
-                mesh[j][i] = b
+        mesh = full_mesh(ctx, p)
 
         result_conns = []
         barrier = ctx.Barrier(p)
@@ -146,6 +151,7 @@ class MPRunner:
                     self.seed,
                     barrier,
                     self.record_events,
+                    self.cascade,
                 ),
                 daemon=True,
             )

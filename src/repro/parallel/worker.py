@@ -1,32 +1,35 @@
-"""Per-process worker implementing the speculative protocol on pipes.
+"""Per-process worker: one rank's engine driven over real pipes.
 
 Each worker owns one rank's block and a duplex
 :class:`multiprocessing.connection.Connection` to every other rank.
-Injected latency is enforced at the *receiver*: each message carries a
-``deliver_at`` wall-clock stamp, and a message does not count as
-arrived (for probe or blocking receive) until that instant passes —
-exactly how the simulator's delay networks behave.
+The speculative protocol itself is :class:`repro.engine.SpecEngine` —
+the same state machine the DES and loopback backends run — interpreted
+against the pipes by
+:class:`~repro.engine.pipes.PipeTransport`: injected latency is
+enforced at the receiver via per-message delivery stamps, sends carry
+per-destination sequence numbers (restoring FIFO-with-delay order
+under jitter — the SPF111 fix), and blocking receives park in
+``select`` rather than sleep-polling.
 
-Only forward windows 0 and 1 are supported here: FW >= 2 requires the
-cascade machinery that lives in the simulator driver, and the paper's
-wall-clock claims are made for FW <= 2 with FW = 1 carrying the
-headline result.
+Because the engine owns the cascade machinery, every forward window
+the simulator supports (including FW >= 2 and ``cascade="none"``) now
+runs on real processes too.
 """
 
 from __future__ import annotations
 
-import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 import numpy as np
 
+from repro.core.results import SpecStats
+from repro.engine.core import SpecEngine, topology
+from repro.engine.events import VARS  # noqa: F401  (re-export, back-compat)
+from repro.engine.pipes import PipeTransport
+from repro.engine.transport import drive
 from repro.trace.events import TraceEvent
-
-#: Tag family used for the protocol's variable exchange (mirrors the
-#: simulator driver's ``VARS`` constant).
-VARS = "vars"
 
 
 @dataclass
@@ -40,65 +43,13 @@ class WorkerReport:
     spec_accepted: int = 0
     spec_rejected: int = 0
     recomputes: int = 0
+    checks: int = 0
+    tainted_sends: int = 0
     wall_seconds: float = 0.0
     error: Optional[str] = None
     #: Protocol trace events (populated when the runner records them);
     #: times are wall seconds relative to the worker's protocol start.
     events: list[TraceEvent] = field(default_factory=list)
-
-
-class _Mailbox:
-    """Receiver-side message buffer with delivery-time gating."""
-
-    def __init__(self, conns: Mapping[int, Any]) -> None:
-        self._conns = dict(conns)
-        self._pending: list[tuple[float, int, int, Any]] = []  # (deliver_at, src, t, payload)
-
-    def _pump(self) -> None:
-        for src, conn in self._conns.items():
-            while conn.poll():
-                deliver_at, t, payload = conn.recv()
-                self._pending.append((deliver_at, src, t, payload))
-
-    def try_take(self, src: int, t: int, now: Optional[float] = None) -> Optional[Any]:
-        """Non-blocking: the (src, t) payload if already *delivered*."""
-        self._pump()
-        if now is None:
-            now = time.monotonic()
-        for i, (deliver_at, s, mt, payload) in enumerate(self._pending):
-            if s == src and mt == t and deliver_at <= now:
-                del self._pending[i]
-                return payload
-        return None
-
-    def take_blocking(self, src: int, t: int, poll_interval: float = 1e-4) -> Any:
-        """Block until the (src, t) message is delivered; return payload."""
-        while True:
-            now = time.monotonic()
-            got = self.try_take(src, t, now=now)
-            if got is not None:
-                return got
-            # Sleep until the earliest matching pending delivery, or a
-            # short poll if nothing matching is buffered yet.
-            matching = [
-                d for d, s, mt, _ in self._pending if s == src and mt == t
-            ]
-            if matching:
-                time.sleep(max(0.0, min(matching) - now))
-            else:
-                time.sleep(poll_interval)
-
-
-class _PhaseTimer:
-    """Accumulates wall time per protocol phase."""
-
-    def __init__(self) -> None:
-        self.seconds: dict[str, float] = {}
-
-    def add(self, phase: str, start: float) -> float:
-        now = time.monotonic()
-        self.seconds[phase] = self.seconds.get(phase, 0.0) + (now - start)
-        return now
 
 
 def worker_main(
@@ -112,12 +63,13 @@ def worker_main(
     seed: int,
     start_barrier: Any,
     record_events: bool = False,
+    cascade: str = "recompute",
 ) -> None:
     """Entry point executed inside each worker process."""
     try:
         report = _run_protocol(
             rank, program, fw, conns, latency, jitter, seed, start_barrier,
-            record_events=record_events,
+            record_events=record_events, cascade=cascade,
         )
     except (KeyboardInterrupt, SystemExit):  # pragma: no cover - interactive
         # Never convert interpreter-shutdown signals into a report: the
@@ -136,124 +88,37 @@ def worker_main(
     result_conn.close()
 
 
-def _run_protocol(rank, program, fw, conns, latency, jitter, seed, start_barrier,
-                  record_events=False):
-    rng = np.random.default_rng(seed * 1000 + rank)
-    timer = _PhaseTimer()
-    mailbox = _Mailbox(conns)
-    T = program.iterations
-    needed = sorted(program.needed(rank))
-    audience = [k for k in conns if rank in program.needed(k)]
-
-    events: list[TraceEvent] = []
-    seq = 0
-    t_start = time.monotonic()  # re-stamped after the start barrier
-
-    def emit(kind: str, peer: Optional[int] = None, iteration: Optional[int] = None) -> None:
-        """Record one protocol trace event (no-op unless recording)."""
-        nonlocal seq
-        if not record_events:
-            return
-        events.append(
-            TraceEvent(
-                rank=rank, seq=seq, kind=kind,
-                time=time.monotonic() - t_start,
-                peer=peer, family=VARS, iteration=iteration,
-            )
-        )
-        seq += 1
-
-    def send_block(t: int, block: Any) -> None:
-        for dst in audience:
-            delay = latency
-            if jitter > 0:
-                delay *= float(np.exp(rng.normal(0.0, jitter)))
-            emit("send", peer=dst, iteration=t)
-            conns[dst].send((time.monotonic() + delay, t, block))
-
-    chain = program.initial_block(rank)
-    history: dict[int, list] = {k: [(0, program.initial_block(k))] for k in needed}
-    bw_cap = max(getattr(program.speculator, "backward_window", 1), 2) + 1
-    spec_made = spec_accepted = spec_rejected = recomputes = 0
+def _run_protocol(
+    rank, program, fw, conns, latency, jitter, seed, start_barrier,
+    record_events=False, cascade="recompute",
+):
+    """Build this rank's engine + transport and run to completion."""
+    needed, audience = topology(program)
+    stats = SpecStats(rank=rank)
+    engine = SpecEngine(
+        program, rank, needed[rank], audience[rank],
+        fw=fw, cascade=cascade, stats=stats,
+    )
+    transport = PipeTransport(
+        rank, conns,
+        latency=latency, jitter=jitter,
+        rng=np.random.default_rng(seed * 1000 + rank),
+        record_events=record_events,
+    )
 
     start_barrier.wait()
-    t_start = time.monotonic()  # event times are relative to this instant
-
-    for t in range(T):
-        # Send X_rank(t) (t = 0 is known everywhere).
-        if t > 0:
-            send_block(t, chain)
-
-        # Gather inputs: receive what is here, speculate the rest.
-        inputs: dict[int, Any] = {rank: chain}
-        speculated: dict[int, Any] = {}
-        for k in needed:
-            actual = mailbox.try_take(k, t) if t > 0 else history[k][0][1]
-            if t > 0 and actual is not None:
-                emit("recv", peer=k, iteration=t)
-                history[k].append((t, actual))
-                del history[k][:-bw_cap]
-            if actual is not None:
-                inputs[k] = actual
-            elif fw >= 1:
-                s0 = time.monotonic()
-                times = [ht for ht, _ in history[k]]
-                values = [hv for _, hv in history[k]]
-                spec = program.speculate(rank, k, times, values, t)
-                timer.add("spec", s0)
-                emit("speculate", peer=k, iteration=t)
-                inputs[k] = spec
-                speculated[k] = spec
-            else:
-                s0 = time.monotonic()
-                actual = mailbox.take_blocking(k, t)
-                timer.add("comm", s0)
-                emit("recv", peer=k, iteration=t)
-                history[k].append((t, actual))
-                del history[k][:-bw_cap]
-                inputs[k] = actual
-
-        # Compute X_rank(t+1).
-        emit("compute", iteration=t)
-        s0 = time.monotonic()
-        next_block = program.compute(rank, inputs, t)
-        timer.add("compute", s0)
-
-        # Verify stragglers (FW = 1 path).
-        spec_made += len(speculated)
-        for k, spec in speculated.items():
-            s0 = time.monotonic()
-            actual = mailbox.take_blocking(k, t)
-            s0 = timer.add("comm", s0)
-            emit("recv", peer=k, iteration=t)
-            history[k].append((t, actual))
-            del history[k][:-bw_cap]
-            emit("verify", peer=k, iteration=t)
-            error = program.check(rank, k, spec, actual, chain)
-            s0 = timer.add("check", s0)
-            if error > program.threshold:
-                next_block, _ops = program.correct(
-                    rank, next_block, inputs, k, spec, actual, t
-                )
-                inputs[k] = actual
-                timer.add("correct", s0)
-                emit("correct", peer=k, iteration=t)
-                spec_rejected += 1
-                recomputes += 1
-            else:
-                spec_accepted += 1
-
-        chain = next_block
-
-    wall = time.monotonic() - t_start
+    transport.start()  # event times / wall_seconds relative to here
+    final = drive(engine, transport)
     return WorkerReport(
         rank=rank,
-        final_block=chain,
-        phase_seconds=timer.seconds,
-        spec_made=spec_made,
-        spec_accepted=spec_accepted,
-        spec_rejected=spec_rejected,
-        recomputes=recomputes,
-        wall_seconds=wall,
-        events=events,
+        final_block=final,
+        phase_seconds=transport.phase_seconds,
+        spec_made=stats.spec_made,
+        spec_accepted=stats.spec_accepted,
+        spec_rejected=stats.spec_rejected,
+        recomputes=stats.recomputes,
+        checks=stats.checks,
+        tainted_sends=stats.tainted_sends,
+        wall_seconds=transport.wall_seconds,
+        events=transport.events,
     )

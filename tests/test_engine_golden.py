@@ -1,0 +1,78 @@
+"""Golden parity: the engine-seated drivers reproduce the pre-refactor
+driver bit-for-bit.
+
+``tests/golden/engine_reseat.json`` was captured (by
+``scripts/capture_golden.py``) from the monolithic drivers *before*
+the protocol moved into :mod:`repro.engine`.  Every field — makespan
+``repr``, per-rank final-block digests, and the full speculation
+counters — must match exactly: the refactor changed where the
+protocol lives, not what it does.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).resolve().parent / "golden" / "engine_reseat.json")
+    .read_text()
+)
+
+STAT_FIELDS = (
+    "rank", "spec_made", "spec_accepted", "spec_rejected", "checks",
+    "recomputes", "iterations", "tainted_sends", "messages_sent",
+    "messages_received",
+)
+
+
+def summarize(res):
+    """Mirror of scripts/capture_golden.py's summary (keep in sync)."""
+    return {
+        "makespan": repr(float(res.makespan)),
+        "iterations": res.iterations,
+        "fw": res.fw,
+        "final_digest": [
+            repr(float(np.asarray(res.final_blocks[r]).sum()))
+            for r in sorted(res.final_blocks)
+        ],
+        "stats": [{f: getattr(s, f) for f in STAT_FIELDS} for s in res.stats],
+    }
+
+
+def run_jacobi(fw, cascade):
+    from repro.apps.jacobi import JacobiSolver, diagonally_dominant_system
+    from repro.core import run_program
+    from repro.netsim import ConstantLatency, DelayNetwork
+    from repro.vm import Cluster, uniform_specs
+
+    a, b = diagonally_dominant_system(48, seed=7)
+    prog = JacobiSolver(a, b, capacities=[1000.0] * 4, iterations=8,
+                        threshold=1e-9)
+    cluster = Cluster(
+        uniform_specs(4, capacity=1000.0),
+        network_factory=lambda env: DelayNetwork(env, ConstantLatency(0.4)),
+    )
+    return run_program(prog, cluster, fw=fw, cascade=cascade)
+
+
+@pytest.mark.parametrize(
+    "case,fw,cascade",
+    [
+        ("jacobi_fw0", 0, "recompute"),
+        ("jacobi_fw1_recompute", 1, "recompute"),
+        ("jacobi_fw2_recompute", 2, "recompute"),
+        ("jacobi_fw2_none", 2, "none"),
+    ],
+)
+def test_jacobi_matches_pre_refactor_driver(case, fw, cascade):
+    assert summarize(run_jacobi(fw, cascade)) == GOLDEN[case]
+
+
+@pytest.mark.parametrize("case,fw", [("nbody_fw0", 0), ("nbody_fw1", 1)])
+def test_nbody_matches_pre_refactor_driver(case, fw):
+    from repro.harness import run_nbody
+
+    _, res = run_nbody(4, fw, config={"n_particles": 120, "iterations": 5})
+    assert summarize(res) == GOLDEN[case]

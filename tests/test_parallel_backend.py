@@ -14,7 +14,9 @@ from tests.toy_programs import CoupledIncrement
 def test_runner_validation():
     prog = CoupledIncrement(nprocs=2, iterations=2)
     with pytest.raises(ValueError):
-        MPRunner(prog, fw=2)
+        MPRunner(prog, fw=-1)
+    with pytest.raises(ValueError):
+        MPRunner(prog, cascade="partial")
     with pytest.raises(ValueError):
         MPRunner(prog, latency=-1)
     with pytest.raises(ValueError):
@@ -35,6 +37,24 @@ def test_fw1_theta_zero_exact():
     ref = prog.reference_run()
     for rank in range(3):
         np.testing.assert_allclose(result.final_blocks[rank], ref[rank], atol=1e-10)
+
+
+def test_fw2_runs_and_is_exact_under_perfect_speculation():
+    """fw=2 was rejected outright by the old worker; the engine-seated
+    backend supports any forward window.  On a constant state a
+    zero-order hold predicts perfectly, so even the deeper window
+    changes nothing: no rejections, numerics equal the reference."""
+    prog = CoupledIncrement(
+        nprocs=3, iterations=6, coupling=0.0, rates=[0.0, 0.0, 0.0],
+        threshold=0.0, speculator=ZeroOrderHold(),
+    )
+    result = MPRunner(prog, fw=2, latency=0.02).run(timeout=60)
+    ref = prog.reference_run()
+    for rank in range(3):
+        np.testing.assert_allclose(result.final_blocks[rank], ref[rank],
+                                   atol=1e-12)
+    assert sum(r.spec_made for r in result.reports) > 0
+    assert result.rejection_rate == 0.0
 
 
 def test_fw1_perfect_speculation_no_rejections():
