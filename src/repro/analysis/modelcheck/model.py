@@ -1,0 +1,692 @@
+"""specmc's execution model: N sans-I/O engines under an explicit scheduler.
+
+PR 3 made the protocol a pure state machine: ``SpecEngine.run()``
+yields a frozen effect alphabet, never touches a clock, and all of a
+rank's live state sits in the engine object whenever the generator is
+parked at a ``Recv``/``TryRecv``.  That is exactly the shape an
+explicit-state model checker needs:
+
+* an :class:`Execution` holds one engine per rank, per-channel FIFO
+  queues of undelivered messages, and a fresh
+  :class:`~repro.analysis.sanitizer.ProtocolSanitizer` (the runtime
+  seat of the shared invariant registry, reused verbatim as the model
+  checker's per-execution oracle);
+* the *scheduler's* nondeterminism is reified as :class:`Action`
+  values — ``deliver`` (hand one queued message to a parked rank) and
+  ``skip`` (answer a ``TryRecv`` with "nothing yet", modelling a
+  message still in flight);
+* every reachable state is a schedule prefix; states are fingerprinted
+  (:meth:`Execution.fingerprint`) for deduplication, which is sound
+  because a parked generator's continuation is a function of the
+  engine fields plus the parked effect alone (the engine has no hidden
+  locals that survive a park — see docs/static_analysis.md).
+
+Engine-bug injection for the counterexample pipeline is modelled as
+:class:`Mutation`\\ s — each names the registry invariant it must trip,
+so the checker can assert its own detection power end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.invariants import require
+from repro.analysis.modelcheck.scenario import McConfig, build_program
+from repro.analysis.sanitizer import ProtocolSanitizer, ProtocolViolation
+from repro.engine.core import SpecEngine, topology
+from repro.engine.events import (
+    Arrival,
+    CascadeBegin,
+    CascadeEnd,
+    CascadeStep,
+    Charge,
+    ComputeBegin,
+    Corrected,
+    IterationDone,
+    Recv,
+    Send,
+    Speculated,
+    TryRecv,
+    Verified,
+)
+from repro.engine.ring import OutOfOrderArrival
+
+__all__ = [
+    "Action",
+    "Execution",
+    "McViolation",
+    "Mutation",
+    "MUTATIONS",
+    "ReplayOutcome",
+    "replay_schedule",
+    "resolve_mutation",
+    "schedule_from_json",
+    "schedule_to_json",
+]
+
+
+# --------------------------------------------------------------------------
+# Scheduler actions
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Action:
+    """One scheduler decision.
+
+    ``kind == "deliver"``: pop message ``idx`` of channel
+    ``(src, rank)`` and resume ``rank``'s parked receive with it
+    (``idx > 0`` only under the ``no-seq-floor`` mutation, which lets
+    the wire reorder).  ``kind == "skip"``: resume ``rank``'s parked
+    ``TryRecv`` with None — the message it might have seen is still in
+    flight.  ``rank`` is always the rank that resumes, which is what
+    the independence relation keys on.
+    """
+
+    kind: str
+    rank: int
+    src: int = -1
+    idx: int = 0
+
+    def to_json(self) -> List[Union[str, int]]:
+        return [self.kind, self.rank, self.src, self.idx]
+
+    @staticmethod
+    def from_json(data: Sequence[Union[str, int]]) -> "Action":
+        kind, rank, src, idx = data
+        return Action(str(kind), int(rank), int(src), int(idx))
+
+    def describe(self) -> str:
+        if self.kind == "skip":
+            return f"skip(rank={self.rank})"
+        extra = f", idx={self.idx}" if self.idx else ""
+        return f"deliver({self.src}->{self.rank}{extra})"
+
+
+def schedule_to_json(schedule: Sequence[Action]) -> List[List[Union[str, int]]]:
+    """JSON-ready schedule (inverse of :func:`schedule_from_json`)."""
+    return [a.to_json() for a in schedule]
+
+
+def schedule_from_json(
+    data: Sequence[Sequence[Union[str, int]]]
+) -> Tuple[Action, ...]:
+    """Rebuild a schedule serialized by :func:`schedule_to_json`."""
+    return tuple(Action.from_json(entry) for entry in data)
+
+
+# --------------------------------------------------------------------------
+# Mutations: injected engine/transport bugs the checker must catch
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Mutation:
+    """A deliberate protocol bug plus the registry id it must trip."""
+
+    name: str
+    description: str
+    expected_invariant: str
+
+    def __post_init__(self) -> None:
+        require(self.expected_invariant)
+
+
+MUTATIONS: Dict[str, Mutation] = {
+    m.name: m
+    for m in (
+        Mutation(
+            "ungated-window",
+            "disable the engine's pre-/post-send window gates (the "
+            "trailing verification loop of Fig. 3 never blocks); "
+            "catchable at fw=0, or fw=1 with iters=4",
+            "forward-window-bound",
+        ),
+        Mutation(
+            "no-seq-floor",
+            "the transport ignores Send.seq: deliveries may take a "
+            "later message first and the per-channel gap check is off "
+            "— the pre-fix SPF111 stack, where injected jitter could "
+            "present one peer's vars stream out of order",
+            "history-ring-bound",
+        ),
+        Mutation(
+            "seq-skip",
+            "the engine's per-destination stamp skips a number (seq "
+            "0 then 2), so a seq-honouring transport delivers a gap",
+            "sequence-gap-freedom",
+        ),
+        Mutation(
+            "drop-message",
+            "the transport silently drops the first message on the "
+            "1->0 channel; the receiver's verified horizon can never "
+            "pass it and the final drain hangs",
+            "deadlock-freedom",
+        ),
+    )
+}
+
+
+def resolve_mutation(
+    mutation: Union[str, Mutation, None]
+) -> Optional[Mutation]:
+    """Normalise a mutation given by name (or None / already built)."""
+    if mutation is None or isinstance(mutation, Mutation):
+        return mutation
+    try:
+        return MUTATIONS[mutation]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {mutation!r}; known: {sorted(MUTATIONS)}"
+        ) from None
+
+
+class _SeqSkippingEngine(SpecEngine):
+    """``seq-skip``: the second stamp on every channel jumps by one."""
+
+    def next_seq(self, dst: int) -> int:
+        seq = super().next_seq(dst)
+        if seq == 1:
+            self._send_seq[dst] = 3
+            return 2
+        return int(seq)
+
+
+def _ungated_horizon(engine: SpecEngine, t: int) -> int:
+    return -(10**9)
+
+
+def _ungated_window_ok(engine: SpecEngine, t: int) -> bool:
+    return True
+
+
+# --------------------------------------------------------------------------
+# Violations
+# --------------------------------------------------------------------------
+@dataclass
+class McViolation:
+    """A registry invariant broken in one explored interleaving."""
+
+    invariant: str
+    details: str
+    rank: Optional[int]
+    schedule: Tuple[Action, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "details": self.details,
+            "rank": self.rank,
+            "schedule": schedule_to_json(self.schedule),
+        }
+
+    def describe(self) -> str:
+        steps = " ".join(a.describe() for a in self.schedule) or "(empty)"
+        return (
+            f"[{self.invariant}] {self.details}\n"
+            f"  schedule ({len(self.schedule)} action(s)): {steps}"
+        )
+
+
+def _digest_block(block: Any) -> str:
+    """Exact, hashable digest of an opaque block value."""
+    if isinstance(block, np.ndarray):
+        h = hashlib.blake2b(digest_size=8)
+        h.update(repr((block.dtype.str, block.shape)).encode())
+        h.update(block.tobytes())
+        return h.hexdigest()
+    if isinstance(block, (tuple, list)):
+        return repr([_digest_block(b) for b in block])
+    return repr(block)
+
+
+#: One queued wire message: (seq, family, iteration, payload).
+_Msg = Tuple[int, str, int, Any]
+
+
+# --------------------------------------------------------------------------
+# Execution
+# --------------------------------------------------------------------------
+class Execution:
+    """One deterministic run of ``p`` engines under an explicit schedule.
+
+    Construction primes every engine to its first park point; from
+    then on the *only* nondeterminism is which :class:`Action` is
+    applied next, so a schedule prefix identifies a state exactly.
+    Invariant violations (from the sanitizer seat, from the engine's
+    own :class:`OutOfOrderArrival`, or from the specmc-only state
+    predicates) are captured into :attr:`violation` rather than
+    raised, so exploration code stays straight-line.
+    """
+
+    def __init__(
+        self,
+        config: McConfig,
+        mutation: Union[str, Mutation, None] = None,
+        event_log: Any = None,
+    ) -> None:
+        self.config = config
+        self.mutation = resolve_mutation(mutation)
+        self.event_log = event_log
+        self.program = build_program(config)
+        needed, audience = topology(self.program)
+
+        name = self.mutation.name if self.mutation is not None else None
+        engine_cls = _SeqSkippingEngine if name == "seq-skip" else SpecEngine
+        gate_kwargs: Dict[str, Any] = {}
+        if name == "ungated-window":
+            gate_kwargs = {
+                "pre_send_horizon": _ungated_horizon,
+                "window_ok": _ungated_window_ok,
+            }
+        #: The pre-fix stacks being modelled had no wire stamps, so the
+        #: per-channel gap check is off for them: ``no-seq-floor``
+        #: must be caught downstream (HistoryRing), ``drop-message``
+        #: by the deadlock detector.
+        self._check_delivery_seq = name not in ("no-seq-floor", "drop-message")
+        self._reorder = name == "no-seq-floor"
+        self._drop = name == "drop-message"
+
+        self.engines: Dict[int, SpecEngine] = {
+            rank: engine_cls(
+                self.program,
+                rank,
+                needed[rank],
+                audience[rank],
+                fw=config.fw,
+                cascade=config.cascade,
+                hist_cap=config.hist_cap,
+                **gate_kwargs,
+            )
+            for rank in range(config.p)
+        }
+        self.sanitizer = ProtocolSanitizer()
+        #: (src, dst) -> FIFO of undelivered messages.
+        self.channels: Dict[Tuple[int, int], Deque[_Msg]] = {}
+        self.parked: Dict[int, Any] = {}
+        self.finals: Dict[int, Any] = {}
+        self.violation: Optional[McViolation] = None
+        self.schedule: List[Action] = []
+        self.steps = 0
+        self.dropped = 0
+        self._clock = 0
+        self._gens = {rank: eng.run() for rank, eng in self.engines.items()}
+        for rank in sorted(self._gens):
+            if self.violation is None:
+                self._advance(rank, None)
+        self._check_state()
+
+    # ------------------------------------------------------------ queries
+    @property
+    def is_done(self) -> bool:
+        """Every rank returned its final block (and nothing broke)."""
+        return self.violation is None and len(self.finals) == len(self._gens)
+
+    def enabled_actions(self) -> List[Action]:
+        """All scheduler actions applicable in the current state."""
+        if self.violation is not None:
+            return []
+        actions: List[Action] = []
+        for rank in sorted(self.parked):
+            effect = self.parked[rank]
+            if isinstance(effect, TryRecv):
+                actions.append(Action("skip", rank))
+                actions.extend(self._deliveries(rank, None))
+            else:  # Recv
+                actions.extend(self._deliveries(rank, effect.match))
+        return actions
+
+    def _deliveries(
+        self, rank: int, match: Optional[Tuple[str, int]]
+    ) -> List[Action]:
+        out: List[Action] = []
+        for src in sorted(self._gens):
+            queue = self.channels.get((src, rank))
+            if not queue:
+                continue
+            if match is None:
+                out.append(Action("deliver", rank, src, 0))
+                if self._reorder and len(queue) >= 2:
+                    out.append(Action("deliver", rank, src, 1))
+            else:
+                family, iteration = match
+                for i, (_seq, fam, it, _payload) in enumerate(queue):
+                    if fam == family and it == iteration:
+                        out.append(Action("deliver", rank, src, i))
+                        break
+        return out
+
+    def check_deadlock(self) -> Optional[McViolation]:
+        """Detect (and record) a terminal state with unfinished ranks."""
+        if self.violation is not None or self.is_done:
+            return self.violation
+        if self.enabled_actions():
+            return None
+        waiting = {
+            rank: type(eff).__name__ for rank, eff in sorted(self.parked.items())
+        }
+        undelivered = sum(len(q) for q in self.channels.values())
+        self._violate(
+            "deadlock-freedom",
+            f"no action enabled but ranks {sorted(self.parked)} are "
+            f"unfinished (parked: {waiting}; undelivered messages: "
+            f"{undelivered}, dropped: {self.dropped})",
+            rank=None,
+        )
+        return self.violation
+
+    # ------------------------------------------------------------ stepping
+    def apply(self, action: Action) -> None:
+        """Apply one enabled scheduler action (strict: raises if not)."""
+        if self.violation is not None:
+            raise RuntimeError("execution already violated; cannot step")
+        self.steps += 1
+        self.schedule.append(action)
+        if action.kind == "skip":
+            effect = self.parked.get(action.rank)
+            if not isinstance(effect, TryRecv):
+                raise ValueError(f"{action.describe()} not enabled")
+            del self.parked[action.rank]
+            self._advance(action.rank, None)
+            self._check_state()
+            return
+        if action.kind != "deliver":
+            raise ValueError(f"unknown action kind {action.kind!r}")
+        queue = self.channels.get((action.src, action.rank))
+        if queue is None or len(queue) <= action.idx:
+            raise ValueError(f"{action.describe()} not enabled")
+        effect = self.parked.get(action.rank)
+        if effect is None:
+            raise ValueError(f"{action.describe()}: rank not parked")
+        seq, family, iteration, payload = queue[action.idx]
+        del queue[action.idx]
+        if not queue:
+            del self.channels[(action.src, action.rank)]
+        del self.parked[action.rank]
+        self._record(
+            "recv", action.rank, peer=action.src, family=family,
+            iteration=iteration,
+        )
+        if self._check_delivery_seq:
+            try:
+                self.sanitizer.on_delivery(action.rank, action.src, seq)
+            except ProtocolViolation as exc:
+                self._violate(exc.invariant, exc.details, rank=action.rank)
+                return
+        self._advance(
+            action.rank,
+            Arrival(src=action.src, iteration=iteration, payload=payload),
+        )
+        self._check_state()
+
+    def _advance(self, rank: int, response: Optional[Arrival]) -> None:
+        """Run ``rank`` until it parks at a receive or finishes."""
+        gen = self._gens[rank]
+        try:
+            while True:
+                try:
+                    effect = gen.send(response)
+                except StopIteration as stop:
+                    self.parked.pop(rank, None)
+                    self.finals[rank] = stop.value
+                    if len(self.finals) == len(self._gens):
+                        self.sanitizer.on_run_end()
+                    return
+                response = None
+                kind = type(effect)
+                if kind is Send:
+                    self._on_send(rank, effect)
+                elif kind is Charge:
+                    pass  # the model has no clock; costs are not state
+                elif kind is Recv or kind is TryRecv:
+                    self.parked[rank] = effect
+                    return
+                else:
+                    self._notify(rank, effect)
+        except ProtocolViolation as exc:
+            self._violate(exc.invariant, exc.details, rank=rank)
+        except OutOfOrderArrival as exc:
+            self._violate(
+                "history-ring-bound",
+                f"rank {rank}: HistoryRing rejected a non-increasing "
+                f"arrival time ({exc}) — a message overtook its "
+                "predecessor on the wire (the SPF111 pattern)",
+                rank=rank,
+            )
+
+    def _on_send(self, rank: int, effect: Send) -> None:
+        self._record(
+            "send", rank, peer=effect.dst, family=effect.family,
+            iteration=effect.iteration,
+        )
+        if self._drop and rank == 1 and effect.dst == 0 and effect.seq == 0:
+            self.dropped += 1
+            return
+        self.channels.setdefault((rank, effect.dst), deque()).append(
+            (effect.seq, effect.family, effect.iteration, effect.payload)
+        )
+
+    # ----------------------------------------------------------- observers
+    def _tick(self) -> float:
+        self._clock += 1
+        return float(self._clock)
+
+    def _record(
+        self,
+        kind: str,
+        rank: int,
+        peer: Optional[int] = None,
+        family: Optional[str] = None,
+        iteration: Optional[int] = None,
+    ) -> None:
+        if self.event_log is not None:
+            self.event_log.record(
+                kind, rank, self._tick(), peer=peer, family=family,
+                iteration=iteration,
+            )
+
+    def _notify(self, rank: int, effect: Any) -> None:
+        """Fan one engine event to the sanitizer seat + event log
+        (mirrors ``DESTransport._notify``; ProtocolViolation escapes to
+        ``_advance``)."""
+        san = self.sanitizer
+        kind = type(effect)
+        if kind is Speculated:
+            san.on_speculate(rank, effect.peer, effect.iteration)
+            if not effect.in_cascade:
+                self._record(
+                    "speculate", rank, peer=effect.peer, family="vars",
+                    iteration=effect.iteration,
+                )
+        elif kind is ComputeBegin:
+            san.on_compute_begin(
+                rank, effect.iteration, effect.verified_upto, effect.fw
+            )
+            self._record("compute", rank, iteration=effect.iteration)
+        elif kind is Verified:
+            san.on_verify(rank, effect.peer, effect.iteration)
+            self._record(
+                "verify", rank, peer=effect.peer, family="vars",
+                iteration=effect.iteration,
+            )
+        elif kind is Corrected:
+            self._record(
+                "correct", rank, peer=effect.peer, family="vars",
+                iteration=effect.iteration,
+            )
+        elif kind is CascadeBegin:
+            san.on_cascade_begin(rank, effect.iteration)
+        elif kind is CascadeStep:
+            san.on_cascade_step(rank, effect.iteration)
+        elif kind is CascadeEnd:
+            san.on_cascade_end(rank)
+        elif kind is IterationDone:
+            pass  # host hook; the model has no adaptive controller
+
+    # ------------------------------------------------------------ checking
+    def _violate(
+        self, invariant: str, details: str, rank: Optional[int]
+    ) -> None:
+        require(invariant)
+        self.violation = McViolation(
+            invariant=invariant,
+            details=details,
+            rank=rank,
+            schedule=tuple(self.schedule),
+        )
+
+    def _check_state(self) -> None:
+        """specmc-only state predicates (``history-ring-bound``)."""
+        if self.violation is not None:
+            return
+        for rank, engine in self.engines.items():
+            for k, ring in engine.history.items():
+                times, _values = ring.series()
+                if len(times) > ring.capacity:
+                    self._violate(
+                        "history-ring-bound",
+                        f"rank {rank}: history for peer {k} holds "
+                        f"{len(times)} entries, capacity {ring.capacity}",
+                        rank=rank,
+                    )
+                    return
+                if any(b <= a for a, b in zip(times, times[1:])):
+                    self._violate(
+                        "history-ring-bound",
+                        f"rank {rank}: history times for peer {k} are "
+                        f"not strictly increasing: {list(times)}",
+                        rank=rank,
+                    )
+                    return
+
+    # --------------------------------------------------------- fingerprint
+    def fingerprint(self) -> bytes:
+        """Exact digest of the protocol-relevant state.
+
+        Sound for dedup because a parked rank's continuation is a
+        function of (engine fields, parked effect) only, and future
+        *transport* behaviour is a function of the channel contents.
+        Excluded on purpose: ``SpecStats`` counters and the schedule
+        itself (neither feeds back into protocol decisions), which is
+        what lets different interleavings converge.
+        """
+        h = hashlib.blake2b(digest_size=20)
+
+        def put(*parts: object) -> None:
+            h.update(repr(parts).encode())
+            h.update(b"\x00")
+
+        for rank in sorted(self._gens):
+            if rank in self.finals:
+                put("done", rank, _digest_block(self.finals[rank]))
+                continue
+            effect = self.parked.get(rank)
+            if isinstance(effect, TryRecv):
+                put("park", rank, "TryRecv")
+            elif isinstance(effect, Recv):
+                put("park", rank, "Recv", effect.phase, effect.iteration,
+                    effect.match)
+            else:  # pragma: no cover - every live rank is parked
+                put("running", rank)
+            eng = self.engines[rank]
+            put(eng.frontier, eng.verified_upto, eng.fw)
+            for t in sorted(eng.chain):
+                put("chain", t, _digest_block(eng.chain[t]))
+            for key in sorted(eng.actual):
+                put("actual", key, _digest_block(eng.actual[key]))
+            for key in sorted(eng.spec_used):
+                put("spec", key, _digest_block(eng.spec_used[key]))
+            for t in sorted(eng.inputs_used):
+                for k in sorted(eng.inputs_used[t]):
+                    put("inputs", t, k, _digest_block(eng.inputs_used[t][k]))
+            for t in sorted(eng.missing):
+                put("missing", t, eng.missing[t])
+            for dst in sorted(eng._send_seq):
+                put("seq", dst, eng._send_seq[dst])
+            for k in sorted(eng.history):
+                times, values = eng.history[k].series()
+                put("hist", k, tuple(times),
+                    tuple(_digest_block(v) for v in values))
+        for key in sorted(self.channels):
+            queue = self.channels[key]
+            put("chan", key,
+                tuple((m[0], m[1], m[2], _digest_block(m[3])) for m in queue))
+        return h.digest()
+
+
+# --------------------------------------------------------------------------
+# Schedule replay (shrinker, emitted tests, trace emission)
+# --------------------------------------------------------------------------
+@dataclass
+class ReplayOutcome:
+    """Result of replaying a (possibly partial) schedule."""
+
+    violation: Optional[McViolation]
+    finals: Dict[int, Any]
+    applied: int
+    skipped: int
+    completed: int
+    config: McConfig = field(repr=False, default=McConfig())
+
+    @property
+    def deadlocked(self) -> bool:
+        return (
+            self.violation is not None
+            and self.violation.invariant == "deadlock-freedom"
+        )
+
+
+def _canonical_key(action: Action) -> Tuple[int, int, int, int]:
+    """Deterministic completion order: deliveries first, low ranks first."""
+    return (1 if action.kind == "skip" else 0, action.rank, action.src,
+            action.idx)
+
+
+def replay_schedule(
+    config: McConfig,
+    schedule: Sequence[Action],
+    mutation: Union[str, Mutation, None] = None,
+    event_log: Any = None,
+    strict: bool = False,
+    complete: bool = True,
+    max_steps: int = 100_000,
+) -> ReplayOutcome:
+    """Replay ``schedule`` against a fresh :class:`Execution`.
+
+    Best-effort by default: actions no longer enabled (the shrinker
+    removes their enablers) are skipped, and after the schedule runs
+    out the execution is *completed deterministically* (canonical
+    action order) so run-end and deadlock violations still surface.
+    ``strict=True`` raises on a non-enabled action instead — the
+    explorer's replay-on-backtrack path uses that, since its prefixes
+    are enabled by construction.
+    """
+    ex = Execution(config, mutation=mutation, event_log=event_log)
+    applied = skipped = completed = 0
+    for action in schedule:
+        if ex.violation is not None or ex.is_done:
+            break
+        if action in ex.enabled_actions():
+            ex.apply(action)
+            applied += 1
+        elif strict:
+            raise ValueError(f"schedule action {action.describe()} not enabled")
+        else:
+            skipped += 1
+    if complete:
+        while ex.violation is None and not ex.is_done and completed < max_steps:
+            actions = ex.enabled_actions()
+            if not actions:
+                ex.check_deadlock()
+                break
+            ex.apply(min(actions, key=_canonical_key))
+            completed += 1
+    return ReplayOutcome(
+        violation=ex.violation,
+        finals=dict(ex.finals),
+        applied=applied,
+        skipped=skipped,
+        completed=completed,
+        config=config,
+    )

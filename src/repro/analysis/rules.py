@@ -1,4 +1,4 @@
-"""The speclint rules (SPL001..SPL006).
+"""The speclint rules (SPL001..SPL008).
 
 Each rule is a small, self-contained AST pass tuned to *this*
 codebase's speculative-DES idioms (see ``docs/static_analysis.md`` for
@@ -17,6 +17,8 @@ Shared conventions the rules key on:
 from __future__ import annotations
 
 import ast
+import re
+from pathlib import PurePosixPath
 from typing import Iterator, Optional
 
 from repro.analysis.diagnostics import Diagnostic, Severity, register_rule
@@ -653,4 +655,244 @@ def check_spl006(tree: ast.Module, path: str, source: str) -> Iterator[Diagnosti
                         "broad except discards the original traceback; "
                         "re-raise, pass the exception object on, or record "
                         "traceback.format_exc()",
+                    )
+
+
+# --------------------------------------------------------------------------
+# SPL007 — sans-I/O purity of the protocol engine
+# --------------------------------------------------------------------------
+
+#: Engine-package modules that carry the sans-I/O contract by path.
+SANS_IO_BASENAMES = frozenset({"core.py", "events.py", "ring.py"})
+#: Marker comment declaring the sans-I/O contract for any other module.
+_SANS_IO_MARKER = re.compile(r"#\s*speclint:\s*sans-io\b")
+#: Modules a sans-I/O engine module must never import: clocks, RNG
+#: state, sockets, processes, threads — everything a transport owns.
+IMPURE_MODULES = frozenset(
+    {
+        "time", "random", "socket", "os", "multiprocessing", "threading",
+        "subprocess", "select", "selectors", "signal", "asyncio", "queue",
+        "socketserver", "ssl", "fcntl",
+    }
+)
+#: Builtins that perform I/O (or break determinism) without an import.
+IMPURE_BUILTINS = frozenset({"open", "input", "print", "breakpoint", "exec", "eval"})
+
+
+def is_sans_io_module(path: str, source: str) -> bool:
+    """Does this module carry the sans-I/O purity contract?
+
+    True for the engine core modules by path (``engine/core.py``,
+    ``engine/events.py``, ``engine/ring.py``) and for any module
+    declaring ``# speclint: sans-io``.
+    """
+    posix = PurePosixPath(path.replace("\\", "/"))
+    if posix.name in SANS_IO_BASENAMES and "engine" in posix.parts:
+        return True
+    return _SANS_IO_MARKER.search(source) is not None
+
+
+def _under_type_checking(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> bool:
+    """Is ``node`` inside an ``if TYPE_CHECKING:`` block?"""
+    current: Optional[ast.AST] = parents.get(node)
+    while current is not None:
+        if isinstance(current, ast.If):
+            for sub in ast.walk(current.test):
+                if isinstance(sub, (ast.Name, ast.Attribute)):
+                    if receiver_tail(sub) == "TYPE_CHECKING":
+                        return True
+        current = parents.get(current)
+    return False
+
+
+@register_rule(
+    "SPL007",
+    "sans-io-purity",
+    Severity.ERROR,
+    "sans-I/O engine module (engine core/events/ring, or any module "
+    "marked `# speclint: sans-io`) imports a clock/RNG/socket/process "
+    "module or calls an I/O builtin; all effects must be yielded to a "
+    "transport",
+)
+def check_spl007(tree: ast.Module, path: str, source: str) -> Iterator[Diagnostic]:
+    """The engine's whole contract is that transports own every side
+    effect; one sneaked-in ``time.time()`` silently forks the DES,
+    loopback and pipe behaviours apart."""
+    if not is_sans_io_module(path, source):
+        return
+    parents = build_parent_map(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top in IMPURE_MODULES and not _under_type_checking(node, parents):
+                    yield _diag(
+                        path,
+                        node,
+                        "SPL007",
+                        Severity.ERROR,
+                        f"sans-I/O engine module imports `{alias.name}`; "
+                        "clocks, RNG, sockets and processes belong to "
+                        "transports — express the need as a yielded effect",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            top = node.module.split(".")[0]
+            if top in IMPURE_MODULES and not _under_type_checking(node, parents):
+                names = ", ".join(alias.name for alias in node.names)
+                yield _diag(
+                    path,
+                    node,
+                    "SPL007",
+                    Severity.ERROR,
+                    f"sans-I/O engine module imports `{names}` from "
+                    f"`{node.module}`; clocks, RNG, sockets and processes "
+                    "belong to transports — express the need as a yielded "
+                    "effect",
+                )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in IMPURE_BUILTINS:
+                yield _diag(
+                    path,
+                    node,
+                    "SPL007",
+                    Severity.ERROR,
+                    f"sans-I/O engine module calls `{node.func.id}(...)`; "
+                    "I/O belongs in a transport (yield an effect, or move "
+                    "this to the driver)",
+                )
+
+
+# --------------------------------------------------------------------------
+# SPL008 — effect-alphabet exhaustiveness in transport dispatch
+# --------------------------------------------------------------------------
+
+#: Effects a transport must *act* on (Recv/TryRecv also need a response).
+IO_EFFECTS = frozenset({"Send", "Recv", "TryRecv", "Charge"})
+#: Pure notification effects; a catch-all branch may forward them.
+NOTIFY_EFFECTS = frozenset(
+    {
+        "Speculated", "ComputeBegin", "Verified", "Corrected",
+        "CascadeBegin", "CascadeStep", "CascadeEnd", "IterationDone",
+    }
+)
+#: The full effect alphabet of :mod:`repro.engine.events` (mirrored
+#: here because a lint rule sees one file at a time; the test-suite
+#: asserts this stays equal to the real ``Effect`` union).
+EFFECT_ALPHABET = IO_EFFECTS | NOTIFY_EFFECTS
+
+
+def _dispatch_names(test: ast.expr) -> set[str]:
+    """Effect class names this branch test dispatches on.
+
+    Recognises ``kind is Send`` / ``type(e) == Send`` comparisons and
+    ``isinstance(e, (Send, Recv))`` calls.
+    """
+    names: set[str] = set()
+    for node in ast.walk(test):
+        if isinstance(node, ast.Compare):
+            if all(isinstance(op, (ast.Is, ast.Eq)) for op in node.ops):
+                for expr in [node.left, *node.comparators]:
+                    tail = receiver_tail(expr)
+                    if tail in EFFECT_ALPHABET:
+                        names.add(tail)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "isinstance"
+                and len(node.args) == 2
+            ):
+                second = node.args[1]
+                exprs = second.elts if isinstance(second, ast.Tuple) else [second]
+                for expr in exprs:
+                    tail = receiver_tail(expr)
+                    if tail in EFFECT_ALPHABET:
+                        names.add(tail)
+    return names
+
+
+def _effect_chains(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[tuple[ast.AST, set[str], bool]]:
+    """Yield ``(head_node, dispatched_names, has_default)`` for every
+    effect-dispatch chain (if/elif ladder or match statement) in the
+    function's own body."""
+    ifs = [n for n in walk_own_body(func) if isinstance(n, ast.If)]
+    elif_nodes = {
+        n.orelse[0]
+        for n in ifs
+        if len(n.orelse) == 1 and isinstance(n.orelse[0], ast.If)
+    }
+    for head in ifs:
+        if head in elif_nodes:
+            continue
+        names: set[str] = set()
+        node = head
+        while True:
+            names |= _dispatch_names(node.test)
+            if len(node.orelse) == 1 and isinstance(node.orelse[0], ast.If):
+                node = node.orelse[0]
+            else:
+                break
+        if names:
+            yield head, names, bool(node.orelse)
+    for node in walk_own_body(func):
+        if not isinstance(node, ast.Match):
+            continue
+        names = set()
+        has_default = False
+        for case in node.cases:
+            pattern = case.pattern
+            if isinstance(pattern, ast.MatchClass):
+                tail = receiver_tail(pattern.cls)
+                if tail in EFFECT_ALPHABET:
+                    names.add(tail)
+            elif isinstance(pattern, ast.MatchAs) and pattern.pattern is None:
+                has_default = True
+        if names:
+            yield node, names, has_default
+
+
+@register_rule(
+    "SPL008",
+    "effect-alphabet-exhaustiveness",
+    Severity.ERROR,
+    "transport effect-dispatch chain does not cover the whole effect "
+    "alphabet (Send/Recv/TryRecv/Charge plus a default branch for "
+    "notifications); unhandled effects are silently dropped",
+)
+def check_spl008(tree: ast.Module, path: str, source: str) -> Iterator[Diagnostic]:
+    """An effect the interpreter skips never reaches the medium: a
+    dropped ``Charge`` corrupts timing, a dropped ``TryRecv`` hangs a
+    rank waiting for a response that never comes."""
+    for func in iter_functions(tree):
+        for head, names, has_default in _effect_chains(func):
+            if "Send" not in names or len(names & IO_EFFECTS) < 2:
+                # Every real interpreter routes Send; chains without a
+                # Send branch (park-signature inspectors, notification
+                # observers) are allowed to be partial.
+                continue
+            missing_io = sorted(IO_EFFECTS - names)
+            if missing_io:
+                yield _diag(
+                    path,
+                    head,
+                    "SPL008",
+                    Severity.ERROR,
+                    f"effect dispatch in `{func.name}` never handles "
+                    f"{', '.join(missing_io)}; every I/O effect the engine "
+                    "can yield needs a branch (see repro.engine.events)",
+                )
+            if not has_default:
+                missing_notify = sorted(NOTIFY_EFFECTS - names)
+                if missing_notify:
+                    yield _diag(
+                        path,
+                        head,
+                        "SPL008",
+                        Severity.ERROR,
+                        f"effect dispatch in `{func.name}` has no default "
+                        "branch and never handles the notification "
+                        f"effect(s) {', '.join(missing_notify)}; add an "
+                        "`else`/`case _` forwarding to the observer",
                     )

@@ -1,20 +1,19 @@
-"""Runtime protocol sanitizer for the speculative DES stack.
+"""Runtime protocol sanitizer for the speculative protocol stack.
 
-Opt-in (``REPRO_SANITIZE=1`` or ``sanitize=True`` on the drivers), the
-sanitizer asserts the protocol invariants *while the simulation runs*:
+Opt-in (``REPRO_SANITIZE=1`` or ``sanitize=True`` on the drivers and
+transports), the sanitizer is the *runtime seat* on the declarative
+invariant registry in :mod:`repro.analysis.invariants`: it checks, on
+the effect stream of one live execution, every invariant whose
+``seats`` include ``"sanitizer"``:
 
-``event-state-machine``
-    Every processed event was triggered first and is processed at most
-    once (pending -> triggered -> processed).
-``monotonic-virtual-time``
-    The virtual clock never moves backwards.
-``forward-window-bound``
-    ``t_compute - t_oldest_unverified <= fw`` on every compute entry
-    (with ``fw = 0`` the blocking algorithm: everything verified).
-``cascade-order``
-    Correction cascades recompute strictly ascending iterations.
-``verify-without-speculate``
-    Only iterations that were actually speculated are ever verified.
+``event-state-machine``, ``monotonic-virtual-time``,
+``forward-window-bound``, ``cascade-order``,
+``verify-without-speculate``, ``eventual-verification``,
+``sequence-gap-freedom``.
+
+(The registry's remaining ids — ``deadlock-freedom`` and
+``history-ring-bound`` — need a global view of *all* interleavings and
+are checked by the exhaustive seat, :mod:`repro.analysis.modelcheck`.)
 
 A violated invariant raises :class:`ProtocolViolation` carrying a
 phase-trace excerpt (the most recent protocol events) so the failure
@@ -27,6 +26,7 @@ import os
 from collections import deque
 from typing import Callable, Deque, Optional
 
+from repro.analysis.invariants import require, sanitizer_invariant_ids
 from repro.des.errors import SimulationError
 
 #: Environment variable that turns the sanitizer on for every driver.
@@ -77,13 +77,9 @@ class ProtocolSanitizer:
     per event).
     """
 
-    INVARIANTS = (
-        "event-state-machine",
-        "monotonic-virtual-time",
-        "forward-window-bound",
-        "cascade-order",
-        "verify-without-speculate",
-    )
+    #: The ids this seat enforces — derived from the shared registry,
+    #: never hand-listed, so sanitizer/specmc/docs cannot drift apart.
+    INVARIANTS = sanitizer_invariant_ids()
 
     def __init__(self, trace_limit: int = 40) -> None:
         self._trace: Deque[str] = deque(maxlen=trace_limit)
@@ -94,6 +90,8 @@ class ProtocolSanitizer:
         self._speculated: set[tuple[int, int, int]] = set()
         #: Per-rank last cascade iteration (None = no cascade open).
         self._cascade_last: dict[int, int] = {}
+        #: Per (dst_rank, src) last delivered wire sequence number.
+        self._last_seq: dict[tuple[int, int], int] = {}
         self._last_now: float = float("-inf")
         #: Totals, exposed for tests / reporting.
         self.events_checked = 0
@@ -109,6 +107,7 @@ class ProtocolSanitizer:
         return list(self._trace)
 
     def _violate(self, invariant: str, details: str) -> None:
+        require(invariant)  # ids must come from the shared registry
         raise ProtocolViolation(invariant, details, self.trace_excerpt())
 
     # ------------------------------------------------------- DES hooks
@@ -207,6 +206,20 @@ class ProtocolSanitizer:
         self.note(f"rank {rank}: cascade end")
         self._cascade_last.pop(rank, None)
 
+    def on_delivery(self, rank: int, src: int, seq: int) -> None:
+        """A transport delivered the ``seq``-th message from ``src`` to
+        ``rank``'s engine (``sequence-gap-freedom``)."""
+        self.note(f"rank {rank}: deliver src={src} seq={seq}")
+        last = self._last_seq.get((rank, src), -1)
+        if seq != last + 1:
+            self._violate(
+                "sequence-gap-freedom",
+                f"rank {rank} received seq={seq} from src={src} after "
+                f"seq={last}: per-destination sequence numbers must be "
+                "delivered gap-free and in order",
+            )
+        self._last_seq[(rank, src)] = seq
+
     # ---------------------------------------------------------- final
     def on_run_end(self) -> None:
         """Called once the driver finished: no speculation may remain
@@ -215,7 +228,7 @@ class ProtocolSanitizer:
         if self._outstanding:
             sample = sorted(self._outstanding)[:5]
             self._violate(
-                "verify-without-speculate",
+                "eventual-verification",
                 f"{len(self._outstanding)} speculation(s) never verified "
                 f"(e.g. {sample})",
             )
@@ -280,10 +293,22 @@ def run_selftest(verbose: bool = True) -> int:
         san = ProtocolSanitizer()
         san.on_event_processed(object(), now=1.0, prev_now=2.0)
 
+    def bad_seq_gap() -> None:
+        san = ProtocolSanitizer()
+        san.on_delivery(0, src=1, seq=0)
+        san.on_delivery(0, src=1, seq=2)  # seq=1 lost on the wire
+
+    def bad_run_end() -> None:
+        san = ProtocolSanitizer()
+        san.on_speculate(0, src=1, t=3)
+        san.on_run_end()
+
     expect_violation("verify-without-speculate", bad_verify)
     expect_violation("forward-window-bound", bad_window)
     expect_violation("cascade-order", bad_cascade)
     expect_violation("monotonic-virtual-time", bad_clock)
+    expect_violation("sequence-gap-freedom", bad_seq_gap)
+    expect_violation("eventual-verification", bad_run_end)
 
     if verbose:
         if failures:
@@ -293,6 +318,6 @@ def run_selftest(verbose: bool = True) -> int:
             print(
                 "sanitizer selftest ok: clean run passed; "
                 f"{len(ProtocolSanitizer.INVARIANTS)} invariants armed, "
-                "4 crafted violations detected"
+                "6 crafted violations detected"
             )
     return 1 if failures else 0

@@ -20,12 +20,22 @@ Subcommands
     manage the accepted-findings file CI checks in; ``--trace``
     replays a recorded event log against the same protocol model and
     reports which static findings the run confirms or refutes.
+``repro mc [--p 2,3] [--fw 0,1] [--iters 3] [--budget 60s] ...``
+    Run specmc: exhaustively model-check every message-delivery and
+    scheduling interleaving of bounded engine configurations against
+    the shared invariant registry.  On a violation the counterexample
+    schedule is shrunk (``--no-shrink`` disables) and can be exported
+    as a replayable event trace (``--emit-trace``) and a ready-to-run
+    pytest regression (``--emit-test``); ``--mutate`` injects a known
+    engine bug to exercise that pipeline.
 
-Exit codes (shared by ``lint`` and ``analyze``)
------------------------------------------------
-* ``0`` — clean: no findings (after baseline filtering).
-* ``1`` — findings: at least one diagnostic or replay violation.
-* ``2`` — usage error: bad paths, unreadable trace/baseline files.
+Exit codes (shared by ``lint``, ``analyze`` and ``mc``)
+-------------------------------------------------------
+* ``0`` — clean: no findings / no invariant violation.
+* ``1`` — findings: at least one diagnostic, replay violation, or
+  model-checking counterexample.
+* ``2`` — usage error: bad paths, unreadable trace/baseline files,
+  out-of-bounds model-checking configuration.
 """
 
 from __future__ import annotations
@@ -227,6 +237,131 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return EXIT_CLEAN
 
 
+def _parse_int_list(spec: str, name: str) -> list:
+    """Parse a comma-separated sweep list like ``2,3`` into ints."""
+    try:
+        values = [int(part) for part in spec.split(",") if part.strip() != ""]
+    except ValueError:
+        raise ValueError(f"--{name}: expected comma-separated integers, got {spec!r}")
+    if not values:
+        raise ValueError(f"--{name}: empty sweep list")
+    return values
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    from repro.analysis.modelcheck import (
+        MUTATIONS,
+        Budget,
+        McConfig,
+        emit_test,
+        emit_trace,
+        explore,
+        render_json,
+        render_sarif_mc,
+        render_text,
+        report_dict,
+        shrink_schedule,
+    )
+
+    if args.mutate is not None and args.mutate not in MUTATIONS:
+        known = ", ".join(sorted(MUTATIONS))
+        print(
+            f"specmc: unknown mutation {args.mutate!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    try:
+        p_values = _parse_int_list(args.p, "p")
+        fw_values = _parse_int_list(args.fw, "fw")
+        bw_values = _parse_int_list(args.bw, "bw")
+        iters_values = _parse_int_list(args.iters, "iters")
+        budget = Budget.parse(args.budget) if args.budget else None
+    except ValueError as exc:
+        print(f"specmc: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    configs = []
+    try:
+        for p in p_values:
+            for fw in fw_values:
+                for bw in bw_values:
+                    for iters in iters_values:
+                        configs.append(
+                            McConfig(
+                                p=p,
+                                fw=fw,
+                                bw=bw,
+                                iters=iters,
+                                cascade=args.cascade,
+                                scenario=args.scenario,
+                            )
+                        )
+    except ValueError as exc:
+        print(f"specmc: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    results = []
+    for config in configs:
+        result = explore(config, mutation=args.mutate, budget=budget)
+        if result.violation is not None and not args.no_shrink:
+            result.shrunk_schedule = shrink_schedule(
+                config,
+                result.violation.schedule,
+                result.violation.invariant,
+                mutation=args.mutate,
+            )
+        results.append(result)
+        if result.violation is not None:
+            # First counterexample wins; later configs would only repeat it.
+            break
+
+    violating = next((r for r in results if r.violation is not None), None)
+    if violating is not None:
+        schedule = violating.counterexample_schedule() or ()
+        if args.emit_trace:
+            outcome = emit_trace(
+                violating.config, schedule, args.emit_trace, mutation=args.mutate
+            )
+            reproduced = (
+                outcome.violation is not None
+                and outcome.violation.invariant == violating.violation.invariant
+            )
+            status = "reproduces" if reproduced else "DOES NOT reproduce"
+            print(
+                f"specmc: replayable trace written to {args.emit_trace} "
+                f"({status} the violation)",
+                file=sys.stderr,
+            )
+        if args.emit_test:
+            emit_test(
+                violating.config,
+                schedule,
+                violating.violation.invariant,
+                args.emit_test,
+                mutation=args.mutate,
+                details=violating.violation.details,
+            )
+            print(
+                f"specmc: regression test written to {args.emit_test}",
+                file=sys.stderr,
+            )
+
+    if args.report:
+        import json as _json
+
+        with open(args.report, "w", encoding="utf-8") as fh:
+            _json.dump(report_dict(results), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.format == "json":
+        print(render_json(results), end="")
+    elif args.format == "sarif":
+        print(render_sarif_mc(results), end="")
+    else:
+        print(render_text(results))
+    return EXIT_FINDINGS if violating is not None else EXIT_CLEAN
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -340,6 +475,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="backward window used by the trace replay's staleness check",
     )
     p_an.set_defaults(func=_cmd_analyze)
+
+    p_mc = sub.add_parser(
+        "mc",
+        help="run specmc (exhaustive interleaving model checking of the "
+        "sans-I/O engine)",
+    )
+    p_mc.add_argument(
+        "--p", default="2", metavar="LIST",
+        help="processor counts to sweep, comma-separated (default: 2; max 3)",
+    )
+    p_mc.add_argument(
+        "--fw", default="1", metavar="LIST",
+        help="forward windows to sweep (default: 1; max 2)",
+    )
+    p_mc.add_argument(
+        "--bw", default="1", metavar="LIST",
+        help="backward windows to sweep (default: 1; max 2)",
+    )
+    p_mc.add_argument(
+        "--iters", default="3", metavar="LIST",
+        help="iteration counts to sweep (default: 3; max 4)",
+    )
+    p_mc.add_argument(
+        "--cascade", choices=("recompute", "none"), default="recompute",
+        help="cascade policy for every configuration",
+    )
+    p_mc.add_argument(
+        "--scenario", choices=("drift", "constant"), default="drift",
+        help="program scenario: drift rejects every speculation "
+        "(cascades fire); constant accepts every speculation",
+    )
+    p_mc.add_argument(
+        "--budget", metavar="SPEC",
+        help="per-configuration exploration budget, e.g. 60s, 2m or a "
+        "state count like 50000 (default: unbounded)",
+    )
+    p_mc.add_argument(
+        "--mutate", metavar="NAME",
+        help="inject a known engine bug (see docs/static_analysis.md) to "
+        "exercise the counterexample pipeline",
+    )
+    p_mc.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format",
+    )
+    p_mc.add_argument(
+        "--report", metavar="FILE",
+        help="also write the JSON report document to FILE (CI artifact)",
+    )
+    p_mc.add_argument(
+        "--emit-trace", metavar="FILE",
+        help="on violation: write the shrunk counterexample as a "
+        "replayable event trace (`repro analyze --trace FILE`)",
+    )
+    p_mc.add_argument(
+        "--emit-test", metavar="FILE",
+        help="on violation: write a ready-to-run pytest regression "
+        "replaying the shrunk counterexample",
+    )
+    p_mc.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging the counterexample schedule",
+    )
+    p_mc.set_defaults(func=_cmd_mc)
     return parser
 
 

@@ -28,10 +28,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, Optional, Tuple
 
+from repro.analysis.sanitizer import ProtocolSanitizer, sanitizer_from_env
 from repro.core.results import SpecStats
 from repro.engine.core import ReceiveDrivenEngine, SpecEngine, topology
 from repro.engine.events import (
     Arrival,
+    CascadeBegin,
+    CascadeEnd,
+    CascadeStep,
     Charge,
     ComputeBegin,
     Corrected,
@@ -48,8 +52,8 @@ class LoopbackDeadlock(RuntimeError):
     future message can satisfy."""
 
 
-#: One queued message: (src, family, iteration, payload).
-_QueuedMessage = Tuple[int, str, int, Any]
+#: One queued message: (src, seq, family, iteration, payload).
+_QueuedMessage = Tuple[int, int, str, int, Any]
 
 
 class LoopbackRunner:
@@ -64,13 +68,26 @@ class LoopbackRunner:
         Optional :class:`~repro.trace.events.EventLog`; protocol
         events are recorded with the scheduler's step counter as the
         logical clock, ready for ``repro analyze --trace`` replay.
+    sanitize:
+        Run under the :class:`~repro.analysis.sanitizer.ProtocolSanitizer`
+        (the same runtime seat the DES and pipe backends use); ``None``
+        (default) defers to the ``REPRO_SANITIZE`` environment variable.
     """
 
-    def __init__(self, engines: Dict[int, Any], event_log: Any = None) -> None:
+    def __init__(
+        self,
+        engines: Dict[int, Any],
+        event_log: Any = None,
+        sanitize: Optional[bool] = None,
+    ) -> None:
         if not engines:
             raise ValueError("need at least one engine")
         self.engines = dict(engines)
         self.event_log = event_log
+        if sanitize is None:
+            self.sanitizer: Optional[ProtocolSanitizer] = sanitizer_from_env()
+        else:
+            self.sanitizer = ProtocolSanitizer() if sanitize else None
         self.queues: Dict[int, Deque[_QueuedMessage]] = {
             rank: deque() for rank in self.engines
         }
@@ -134,6 +151,8 @@ class LoopbackRunner:
                 raise LoopbackDeadlock(
                     f"no rank can make progress; blocked receives: {waiting}"
                 )
+        if self.sanitizer is not None:
+            self.sanitizer.on_run_end()
         return finals
 
     # ------------------------------------------------------------ messaging
@@ -143,14 +162,16 @@ class LoopbackRunner:
         self._observe_message("send", src, peer=effect.dst,
                               family=effect.family, iteration=effect.iteration)
         self.queues[effect.dst].append(
-            (src, effect.family, effect.iteration, effect.payload)
+            (src, effect.seq, effect.family, effect.iteration, effect.payload)
         )
 
     def _match_wildcard(self, rank: int) -> Optional[Arrival]:
         queue = self.queues[rank]
         if not queue:
             return None
-        src, family, iteration, payload = queue.popleft()
+        src, seq, family, iteration, payload = queue.popleft()
+        if self.sanitizer is not None:
+            self.sanitizer.on_delivery(rank, src, seq)
         self._observe_message("recv", rank, peer=src,
                               family=family, iteration=iteration)
         return Arrival(src=src, iteration=iteration, payload=payload)
@@ -160,9 +181,11 @@ class LoopbackRunner:
             return self._match_wildcard(rank)
         queue = self.queues[rank]
         want_family, want_iteration = effect.match
-        for i, (src, family, iteration, payload) in enumerate(queue):
+        for i, (src, seq, family, iteration, payload) in enumerate(queue):
             if family == want_family and iteration == want_iteration:
                 del queue[i]
+                if self.sanitizer is not None:
+                    self.sanitizer.on_delivery(rank, src, seq)
                 self._observe_message("recv", rank, peer=src,
                                       family=family, iteration=iteration)
                 return Arrival(src=src, iteration=iteration, payload=payload)
@@ -183,22 +206,44 @@ class LoopbackRunner:
             )
 
     def _observe(self, rank: int, effect: Any) -> None:
+        """Fan one protocol event out to the sanitizer and event log
+        (the loopback seat of ``DESTransport._notify``)."""
         log = self.event_log
-        if log is None:
-            return
+        san = self.sanitizer
         kind = type(effect)
-        if kind is Speculated and not effect.in_cascade:
-            log.record("speculate", rank, self._tick(), peer=effect.peer,
-                       family="vars", iteration=effect.iteration)
+        if kind is Speculated:
+            if san is not None:
+                san.on_speculate(rank, effect.peer, effect.iteration)
+            if log is not None and not effect.in_cascade:
+                log.record("speculate", rank, self._tick(), peer=effect.peer,
+                           family="vars", iteration=effect.iteration)
         elif kind is ComputeBegin:
-            log.record("compute", rank, self._tick(),
-                       iteration=effect.iteration)
+            if san is not None:
+                san.on_compute_begin(
+                    rank, effect.iteration, effect.verified_upto, effect.fw
+                )
+            if log is not None:
+                log.record("compute", rank, self._tick(),
+                           iteration=effect.iteration)
         elif kind is Verified:
-            log.record("verify", rank, self._tick(), peer=effect.peer,
-                       family="vars", iteration=effect.iteration)
+            if san is not None:
+                san.on_verify(rank, effect.peer, effect.iteration)
+            if log is not None:
+                log.record("verify", rank, self._tick(), peer=effect.peer,
+                           family="vars", iteration=effect.iteration)
         elif kind is Corrected:
-            log.record("correct", rank, self._tick(), peer=effect.peer,
-                       family="vars", iteration=effect.iteration)
+            if log is not None:
+                log.record("correct", rank, self._tick(), peer=effect.peer,
+                           family="vars", iteration=effect.iteration)
+        elif kind is CascadeBegin:
+            if san is not None:
+                san.on_cascade_begin(rank, effect.iteration)
+        elif kind is CascadeStep:
+            if san is not None:
+                san.on_cascade_step(rank, effect.iteration)
+        elif kind is CascadeEnd:
+            if san is not None:
+                san.on_cascade_end(rank)
 
 
 def run_loopback(
@@ -207,6 +252,7 @@ def run_loopback(
     cascade: str = "recompute",
     receive_driven: bool = False,
     event_log: Any = None,
+    sanitize: Optional[bool] = None,
 ) -> Tuple[Dict[int, Any], list[SpecStats], LoopbackRunner]:
     """Run ``program`` on the loopback transport.
 
@@ -227,6 +273,6 @@ def run_loopback(
                 program, rank, needed[rank], audience[rank],
                 fw=fw, cascade=cascade, stats=stats[rank],
             )
-    runner = LoopbackRunner(engines, event_log=event_log)
+    runner = LoopbackRunner(engines, event_log=event_log, sanitize=sanitize)
     finals = runner.run()
     return finals, stats, runner

@@ -36,9 +36,13 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import ProtocolSanitizer, sanitizer_from_env
 from repro.engine.events import (
     VARS,
     Arrival,
+    CascadeBegin,
+    CascadeEnd,
+    CascadeStep,
     Charge,
     ComputeBegin,
     Corrected,
@@ -51,8 +55,9 @@ from repro.engine.events import (
 from repro.engine.transport import TransportError
 from repro.trace.events import TraceEvent
 
-#: One buffered in-box entry: (effective_deliver_at, iteration, payload).
-_Pending = Tuple[float, int, Any]
+#: One buffered in-box entry:
+#: (effective_deliver_at, wire_seq, iteration, payload).
+_Pending = Tuple[float, int, int, Any]
 
 
 class PipeTransport:
@@ -72,6 +77,10 @@ class PipeTransport:
     record_events:
         Record protocol :class:`TraceEvent` s (times relative to
         :meth:`start`) for ``repro analyze --trace`` replay.
+    sanitize:
+        Run under the :class:`~repro.analysis.sanitizer.ProtocolSanitizer`
+        (same runtime seat as the DES and loopback backends); ``None``
+        (default) defers to the ``REPRO_SANITIZE`` environment variable.
     """
 
     def __init__(
@@ -82,6 +91,7 @@ class PipeTransport:
         jitter: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         record_events: bool = False,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if latency < 0 or jitter < 0:
             raise ValueError("latency and jitter must be >= 0")
@@ -93,6 +103,10 @@ class PipeTransport:
         self.jitter = jitter
         self._rng = rng
         self.record_events = record_events
+        if sanitize is None:
+            self.sanitizer: Optional[ProtocolSanitizer] = sanitizer_from_env()
+        else:
+            self.sanitizer = ProtocolSanitizer() if sanitize else None
         #: Per-peer FIFO of gated messages, already sequence-checked.
         self._inbox: Dict[int, List[_Pending]] = {src: [] for src in self._conns}
         #: Next expected wire sequence number per peer.
@@ -118,6 +132,13 @@ class PipeTransport:
     def wall_seconds(self) -> float:
         """Wall time since :meth:`start`."""
         return time.monotonic() - self.t0
+
+    def finish(self) -> None:
+        """Protocol is over: run the sanitizer's end-of-run checks
+        (outstanding speculations = an eventual-verification violation).
+        Call after :func:`~repro.engine.transport.drive` returns."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_run_end()
 
     # ------------------------------------------------------------- handlers
     def send(self, effect: Send) -> None:
@@ -171,18 +192,37 @@ class PipeTransport:
             connection.wait(self._wait_list, timeout)
 
     def notify(self, effect: Any) -> None:
+        san = self.sanitizer
         kind = type(effect)
         if kind is Speculated:
+            if san is not None:
+                san.on_speculate(self.rank, effect.peer, effect.iteration)
             if not effect.in_cascade:
                 self._emit("speculate", peer=effect.peer,
                            iteration=effect.iteration)
         elif kind is ComputeBegin:
+            if san is not None:
+                san.on_compute_begin(
+                    self.rank, effect.iteration, effect.verified_upto,
+                    effect.fw,
+                )
             self._emit("compute", iteration=effect.iteration)
         elif kind is Verified:
+            if san is not None:
+                san.on_verify(self.rank, effect.peer, effect.iteration)
             self._emit("verify", peer=effect.peer, iteration=effect.iteration)
         elif kind is Corrected:
             self._emit("correct", peer=effect.peer, iteration=effect.iteration)
-        # Cascade markers and IterationDone have no wall-clock observer.
+        elif kind is CascadeBegin:
+            if san is not None:
+                san.on_cascade_begin(self.rank, effect.iteration)
+        elif kind is CascadeStep:
+            if san is not None:
+                san.on_cascade_step(self.rank, effect.iteration)
+        elif kind is CascadeEnd:
+            if san is not None:
+                san.on_cascade_end(self.rank)
+        # IterationDone has no wall-clock observer.
 
     # ------------------------------------------------------------- internals
     def _pump(self) -> None:
@@ -199,7 +239,7 @@ class PipeTransport:
                 self._expected_seq[src] = expected + 1
                 effective = max(deliver_at, self._deliver_floor[src])
                 self._deliver_floor[src] = effective
-                self._inbox[src].append((effective, iteration, payload))
+                self._inbox[src].append((effective, seq, iteration, payload))
 
     def _pop_deliverable(
         self, now: float, match: Optional[Tuple[str, int]]
@@ -211,7 +251,7 @@ class PipeTransport:
             queue = self._inbox[src]
             if not queue:
                 continue
-            effective, iteration, _payload = queue[0]
+            effective, _seq, iteration, _payload = queue[0]
             if effective > now:
                 continue
             if match is not None and (VARS, iteration) != match:
@@ -221,7 +261,9 @@ class PipeTransport:
                 best_src, best_at = src, effective
         if best_src is None:
             return None
-        _effective, iteration, payload = self._inbox[best_src].pop(0)
+        _effective, seq, iteration, payload = self._inbox[best_src].pop(0)
+        if self.sanitizer is not None:
+            self.sanitizer.on_delivery(self.rank, best_src, seq)
         self._emit("recv", peer=best_src, iteration=iteration)
         return Arrival(src=best_src, iteration=iteration, payload=payload)
 

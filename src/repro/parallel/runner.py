@@ -96,6 +96,11 @@ class MPRunner:
         (:class:`~repro.trace.events.TraceEvent`), merged afterwards by
         :meth:`MPRunResult.event_log` — the input for ``repro analyze
         --trace`` replay.
+    sanitize:
+        Arm the per-worker runtime
+        :class:`~repro.analysis.sanitizer.ProtocolSanitizer`; ``None``
+        (default) defers to ``REPRO_SANITIZE`` (inherited by workers).
+        A violation in any worker surfaces as that worker's error.
     """
 
     def __init__(
@@ -108,6 +113,7 @@ class MPRunner:
         start_method: Optional[str] = None,
         record_events: bool = False,
         cascade: str = "recompute",
+        sanitize: Optional[bool] = None,
     ) -> None:
         if fw < 0:
             raise ValueError("fw must be >= 0")
@@ -122,6 +128,7 @@ class MPRunner:
         self.jitter = jitter
         self.seed = seed
         self.record_events = record_events
+        self.sanitize = sanitize
         self._ctx = mp.get_context(start_method) if start_method else mp.get_context()
 
     def run(self, timeout: float = 300.0) -> MPRunResult:
@@ -152,6 +159,7 @@ class MPRunner:
                     barrier,
                     self.record_events,
                     self.cascade,
+                    self.sanitize,
                 ),
                 daemon=True,
             )

@@ -64,12 +64,13 @@ def worker_main(
     start_barrier: Any,
     record_events: bool = False,
     cascade: str = "recompute",
+    sanitize: Optional[bool] = None,
 ) -> None:
     """Entry point executed inside each worker process."""
     try:
         report = _run_protocol(
             rank, program, fw, conns, latency, jitter, seed, start_barrier,
-            record_events=record_events, cascade=cascade,
+            record_events=record_events, cascade=cascade, sanitize=sanitize,
         )
     except (KeyboardInterrupt, SystemExit):  # pragma: no cover - interactive
         # Never convert interpreter-shutdown signals into a report: the
@@ -90,7 +91,7 @@ def worker_main(
 
 def _run_protocol(
     rank, program, fw, conns, latency, jitter, seed, start_barrier,
-    record_events=False, cascade="recompute",
+    record_events=False, cascade="recompute", sanitize=None,
 ):
     """Build this rank's engine + transport and run to completion."""
     needed, audience = topology(program)
@@ -104,11 +105,13 @@ def _run_protocol(
         latency=latency, jitter=jitter,
         rng=np.random.default_rng(seed * 1000 + rank),
         record_events=record_events,
+        sanitize=sanitize,
     )
 
     start_barrier.wait()
     transport.start()  # event times / wall_seconds relative to here
     final = drive(engine, transport)
+    transport.finish()  # end-of-run sanitizer seat (eventual verification)
     return WorkerReport(
         rank=rank,
         final_block=final,

@@ -1,0 +1,28 @@
+"""SPL007 fixture: a 'sans-I/O' engine module that sneaks in I/O.
+
+The marker below opts this module into the purity contract the real
+engine core/events/ring modules carry by path.
+"""
+# speclint: sans-io
+# speclint: disable-file=SPL003  (the SPL007 findings are the point here)
+
+import time  # line 9: wall clock in the engine
+import random  # line 10: process-global RNG
+from os import urandom  # line 11: OS entropy
+import multiprocessing  # line 12: process management
+from socket import create_connection  # line 13: network I/O
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import os  # typing-only: must NOT be flagged
+
+
+class ImpureEngine:
+    def run(self):
+        started = time.time()
+        jitter = random.random()
+        handle = open("/tmp/engine.log", "w")  # line 25: file I/O builtin
+        print("engine started", started, jitter, file=handle)  # line 26
+        yield started
+        _ = (urandom, multiprocessing, create_connection)

@@ -1,0 +1,42 @@
+"""SPL008 fixture: a transport interpreter with holes in its dispatch.
+
+``partial_drive`` handles Send and Recv only — TryRecv and Charge
+effects (and every notification effect) would be silently dropped,
+hanging a parked rank and corrupting the cost accounting.
+"""
+
+from repro.engine.events import Recv, Send
+
+
+def partial_drive(engine, transport):
+    gen = engine.run()
+    response = None
+    while True:
+        try:
+            effect = gen.send(response)
+        except StopIteration as stop:
+            return stop.value
+        response = None
+        kind = type(effect)
+        if kind is Send:  # line 21: chain head — misses TryRecv/Charge
+            transport.send(effect)
+        elif kind is Recv:
+            response = transport.recv(effect)
+        # no else: notifications vanish
+
+
+def partial_match_drive(engine, transport):
+    gen = engine.run()
+    response = None
+    while True:
+        try:
+            effect = gen.send(response)
+        except StopIteration as stop:
+            return stop.value
+        response = None
+        match effect:  # line 36: match dispatch — misses Recv/Charge
+            case Send():
+                transport.send(effect)
+            case TryRecv():
+                response = transport.try_recv(effect)
+        # no case _: notifications vanish

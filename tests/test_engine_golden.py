@@ -76,3 +76,52 @@ def test_nbody_matches_pre_refactor_driver(case, fw):
 
     _, res = run_nbody(4, fw, config={"n_particles": 120, "iterations": 5})
     assert summarize(res) == GOLDEN[case]
+
+
+# ---------------------------------------------- the --check drift guard
+def _load_capture_golden_module():
+    import importlib.util
+
+    path = (pathlib.Path(__file__).resolve().parent.parent
+            / "scripts" / "capture_golden.py")
+    spec = importlib.util.spec_from_file_location("capture_golden", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_check_mode_drift_report():
+    """scripts/capture_golden.py --check reports drift field by field
+    (CI runs the full recompute; this pins the diffing itself)."""
+    mod = _load_capture_golden_module()
+    pinned = {"case_a": {"makespan": "1.0", "fw": 1},
+              "case_b": {"makespan": "2.0", "fw": 2}}
+    same = {k: dict(v) for k, v in pinned.items()}
+    assert mod.drift_report(pinned, same) == []
+
+    moved = {"case_a": {"makespan": "1.5", "fw": 1},
+             "case_c": {"makespan": "3.0", "fw": 0}}
+    report = mod.drift_report(pinned, moved)
+    assert any("case_a.makespan" in line for line in report)
+    assert any(line.startswith("case_b:") for line in report)  # missing
+    assert any(line.startswith("case_c:") for line in report)  # extra
+
+
+def test_check_mode_golden_file_matches_capture_layout():
+    """The pinned file and the capture script agree on the case set, so
+    --check diffs the same seven scenarios this suite replays."""
+    mod = _load_capture_golden_module()
+    assert mod.DEFAULT_GOLDEN.resolve() == (
+        pathlib.Path(__file__).resolve().parent / "golden"
+        / "engine_reseat.json"
+    )
+    assert set(GOLDEN) == {
+        "jacobi_fw0", "jacobi_fw1_recompute", "jacobi_fw2_recompute",
+        "jacobi_fw2_none", "nbody_fw0", "nbody_fw1", "nbody_fw2",
+    }
+    for case in GOLDEN.values():
+        assert set(case) == {
+            "makespan", "iterations", "fw", "final_digest", "stats"
+        }
+        for stat in case["stats"]:
+            assert set(stat) == set(STAT_FIELDS)

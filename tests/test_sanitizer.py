@@ -87,7 +87,7 @@ def test_outstanding_speculation_at_run_end():
     san.on_speculate(0, 1, 3)
     with pytest.raises(ProtocolViolation) as exc:
         san.on_run_end()
-    assert exc.value.invariant == "verify-without-speculate"
+    assert exc.value.invariant == "eventual-verification"
 
 
 def test_forward_window_bound_fw0():

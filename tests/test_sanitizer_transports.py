@@ -1,0 +1,153 @@
+"""One sanitizer, three transports: the runtime seat is uniform.
+
+The registry-backed :class:`ProtocolSanitizer` now rides along on all
+three backends (DES via ``Environment.sanitizer``/``DESTransport``,
+loopback via ``LoopbackRunner(sanitize=...)``, pipes via
+``PipeTransport(sanitize=...)``).  These tests feed each transport's
+*real* notification path the effect stream a deliberately broken
+engine hook would emit and assert all three trip the **same invariant
+id** — plus an end-to-end loopback run with a genuinely ungated engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.modelcheck.scenario import DriftProgram
+from repro.analysis.sanitizer import ProtocolSanitizer, ProtocolViolation
+from repro.engine.core import SpecEngine, topology
+from repro.engine.des_transport import DESTransport
+from repro.engine.events import ComputeBegin, Send, Speculated
+from repro.engine.loopback import LoopbackDeadlock, LoopbackRunner
+from repro.engine.pipes import PipeTransport
+
+
+def _TinyProgram():
+    """Two ranks, three iterations, every speculation rejected."""
+    return DriftProgram(nprocs=2, iterations=3)
+
+
+#: The effect stream of a broken engine hook: a compute step entered
+#: three iterations past the verified horizon under FW=0 — the exact
+#: forward-window-bound breach an ungated window gate produces.
+_BROKEN_STREAM = (
+    Speculated(peer=1, iteration=0),
+    ComputeBegin(iteration=2, verified_upto=-1, fw=0),
+)
+
+EXPECTED = "forward-window-bound"
+
+
+class _StubEnv:
+    now = 0.0
+
+
+class _StubProc:
+    rank = 0
+    env = _StubEnv()
+
+
+def _drip(notify):
+    """Feed the broken stream through one transport's notify seat."""
+    for effect in _BROKEN_STREAM:
+        notify(effect)
+
+
+def test_des_transport_seat_trips_forward_window_bound():
+    transport = DESTransport(_StubProc(), sanitizer=ProtocolSanitizer())
+    with pytest.raises(ProtocolViolation) as exc:
+        _drip(transport._notify)
+    assert exc.value.invariant == EXPECTED
+
+
+def test_loopback_seat_trips_forward_window_bound():
+    program = _TinyProgram()
+    needed, audience = topology(program)
+    engines = {
+        rank: SpecEngine(program, rank, needed[rank], audience[rank], fw=0)
+        for rank in range(2)
+    }
+    runner = LoopbackRunner(engines, sanitize=True)
+    with pytest.raises(ProtocolViolation) as exc:
+        _drip(lambda effect: runner._observe(0, effect))
+    assert exc.value.invariant == EXPECTED
+
+
+def test_pipe_transport_seat_trips_forward_window_bound():
+    transport = PipeTransport(rank=0, conns={}, sanitize=True)
+    with pytest.raises(ProtocolViolation) as exc:
+        _drip(transport.notify)
+    assert exc.value.invariant == EXPECTED
+
+
+def test_loopback_end_to_end_ungated_engine_trips_same_invariant():
+    """A real engine whose window gate is disabled runs unboundedly
+    ahead under FW=0; the loopback seat must catch it mid-run."""
+    program = _TinyProgram()
+    needed, audience = topology(program)
+
+    engines = {}
+    for rank in range(2):
+        engines[rank] = SpecEngine(
+            program, rank, needed[rank], audience[rank], fw=0,
+            pre_send_horizon=lambda engine, t: -(10 ** 9),
+            window_ok=lambda engine, t: True,
+        )
+    runner = LoopbackRunner(engines, sanitize=True)
+    with pytest.raises((ProtocolViolation, LoopbackDeadlock)) as exc:
+        runner.run()
+    assert isinstance(exc.value, ProtocolViolation)
+    assert exc.value.invariant == EXPECTED
+
+
+def test_loopback_clean_run_is_silent_with_sanitizer():
+    program = _TinyProgram()
+    needed, audience = topology(program)
+    engines = {
+        rank: SpecEngine(program, rank, needed[rank], audience[rank], fw=1)
+        for rank in range(2)
+    }
+    runner = LoopbackRunner(engines, sanitize=True)
+    finals = runner.run()
+    assert set(finals) == {0, 1}
+    assert runner.sanitizer is not None
+
+
+def test_pipes_sequence_gap_is_caught_by_sanitizer_seat():
+    """A wire-level seq skip reaches the sanitizer's on_delivery when
+    the transport-level contiguity check is out of the way; the id is
+    the registry's sequence-gap-freedom, same as specmc's."""
+    san = ProtocolSanitizer()
+    san.on_delivery(0, 1, 0)
+    with pytest.raises(ProtocolViolation) as exc:
+        san.on_delivery(0, 1, 2)
+    assert exc.value.invariant == "sequence-gap-freedom"
+
+
+def test_sanitize_flag_uniform_default_env(monkeypatch):
+    """sanitize=None defers to REPRO_SANITIZE on every backend."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    program = _TinyProgram()
+    needed, audience = topology(program)
+    engines = {
+        rank: SpecEngine(program, rank, needed[rank], audience[rank], fw=1)
+        for rank in range(2)
+    }
+    assert LoopbackRunner(engines).sanitizer is not None
+    assert PipeTransport(rank=0, conns={}).sanitizer is not None
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    engines2 = {
+        rank: SpecEngine(program, rank, needed[rank], audience[rank], fw=1)
+        for rank in range(2)
+    }
+    assert LoopbackRunner(engines2).sanitizer is None
+    assert PipeTransport(rank=0, conns={}).sanitizer is None
+
+
+def test_mp_worker_surfaces_sanitizer_and_send_seq():
+    """Real processes: a sanitized run completes cleanly and messages
+    still carry contiguous sequence numbers end to end."""
+    from repro.parallel.runner import MPRunner
+
+    result = MPRunner(_TinyProgram(), fw=1, sanitize=True).run(timeout=120)
+    assert set(result.final_blocks) == {0, 1}
+    assert np.isfinite(list(result.final_blocks.values())).all()

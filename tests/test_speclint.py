@@ -1,4 +1,4 @@
-"""Tests for the speclint static-analysis pass (rules SPL001..SPL006).
+"""Tests for the speclint static-analysis pass (rules SPL001..SPL008).
 
 Each rule is exercised twice: against a ``bad_*`` fixture that must
 fire at known lines, and against the ``good_*`` fixtures that must stay
@@ -41,8 +41,11 @@ def codes(diagnostics):
 
 
 # ------------------------------------------------------------ rule registry
-def test_registry_has_all_six_rules():
-    assert all_rule_codes() == ["SPL001", "SPL002", "SPL003", "SPL004", "SPL005", "SPL006"]
+def test_registry_has_all_rules():
+    assert all_rule_codes() == [
+        "SPL001", "SPL002", "SPL003", "SPL004",
+        "SPL005", "SPL006", "SPL007", "SPL008",
+    ]
     for code, rule in RULES.items():
         assert rule.code == code
         assert rule.summary
@@ -136,6 +139,58 @@ def test_spl006_allows_reraise_and_traceback_preservation():
         "        return None\n"
     )
     assert lint_source(src) == []
+
+
+def test_spl007_impure_engine_fixture():
+    diags = lint_fixture("bad_spl007_impure_engine.py")
+    assert codes(diags) == ["SPL007"]
+    assert sorted(d.line for d in diags) == [9, 10, 11, 12, 13, 25, 26]
+
+
+def test_spl007_applies_to_engine_core_by_path():
+    src = "import time\n"
+    diags = lint_source(src, path="src/repro/engine/core.py", select=["SPL007"])
+    assert codes(diags) == ["SPL007"]
+    # Same source outside the engine core (and unmarked) is fine.
+    assert lint_source(src, path="src/repro/harness.py", select=["SPL007"]) == []
+
+
+def test_spl007_allows_type_checking_imports():
+    src = (
+        "# speclint: sans-io\n"
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    import os\n"
+    )
+    assert lint_source(src, select=["SPL007"]) == []
+
+
+def test_spl008_partial_dispatch_fixture():
+    diags = lint_fixture("bad_spl008_partial_dispatch.py")
+    assert codes(diags) == ["SPL008"]
+    # Each incomplete chain fires twice: missing I/O branches and the
+    # missing notification default.
+    assert sorted({d.line for d in diags}) == [21, 37]
+    assert len(diags) == 4
+
+
+def test_spl008_silent_on_observers_and_inspectors():
+    # A notification-only observer (no Send branch) may be partial.
+    src = (
+        "def observe(effect, log):\n"
+        "    kind = type(effect)\n"
+        "    if kind is Speculated:\n"
+        "        log('s')\n"
+        "    elif kind is Verified:\n"
+        "        log('v')\n"
+    )
+    assert lint_source(src, select=["SPL008"]) == []
+
+
+def test_spl008_real_transports_are_exhaustive():
+    diags = lint_paths([REPO_ROOT / "src" / "repro" / "engine"],
+                       select=["SPL007", "SPL008"])
+    assert diags == [], render_text(diags)
 
 
 def test_good_fixture_is_clean():
