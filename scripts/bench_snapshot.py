@@ -1,0 +1,124 @@
+"""Benchmark snapshot: fig8 speedup sweep + table2 phase times as JSON.
+
+Runs the two headline measured experiments and writes a
+machine-readable snapshot to ``BENCH_PR6.json`` at the repo root, so
+successive PRs can diff the performance trajectory instead of
+eyeballing tables.
+
+Schema (``BENCH_PR6.json``)::
+
+    {
+      "schema": "bench-snapshot/v1",
+      "label": "PR6",                  # --label
+      "quick": false,                  # --quick used?
+      "config": {                      # overrides applied to HEADLINE
+        "n_particles": 1000, "iterations": 20, "ps": [1, 2, ...]
+      },
+      "fig8": {
+        "experiment_id": "FIG8",
+        "headers": ["p", "FW=0", "FW=1", "FW=2", "maximum"],
+        "rows": [[1, 1.0, 1.0, 1.0, 1.0], ...],   # speedups vs p=1
+        "gains": {"1": 0.12, "2": 0.18},          # FW gain over FW=0
+        "wall_seconds": 12.3                      # host wall time
+      },
+      "table2": {
+        "experiment_id": "TAB2",
+        "headers": ["fw", "comp", "comm", "spec", "check",
+                    "correct", "total"],
+        "rows": [[0, 5.8, 4.7, 0.0, 0.0, 0.0, 10.5], ...],  # seconds
+        "wall_seconds": 4.5
+      }
+    }
+
+Simulated quantities (rows) are deterministic — the DES is seeded —
+so two snapshots at the same config differ only in ``wall_seconds``.
+``--quick`` shrinks the sweep (fewer particles / iterations /
+processor counts) for smoke use in CI; the committed snapshot is the
+full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.harness.experiments import fig8_nbody_speedup, table2_phase_times
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR6.json"
+
+#: Processor counts for the fig8 sweep (full vs --quick).
+FULL_PS = (1, 2, 4, 6, 8, 10, 12, 14, 16)
+QUICK_PS = (1, 2, 4)
+
+
+def snapshot(quick: bool = False, label: str = "PR6") -> dict:
+    """Run both experiments and assemble the schema-v1 document."""
+    if quick:
+        config = {"n_particles": 120, "iterations": 5}
+        ps = QUICK_PS
+        tab2_p = 4
+    else:
+        config = {}
+        ps = FULL_PS
+        tab2_p = 16
+
+    t0 = time.perf_counter()
+    fig8 = fig8_nbody_speedup(ps=ps, config=config or None)
+    t_fig8 = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    tab2 = table2_phase_times(p=tab2_p, config=config or None)
+    t_tab2 = time.perf_counter() - t0
+
+    doc = {
+        "schema": "bench-snapshot/v1",
+        "label": label,
+        "quick": quick,
+        "config": {**config, "ps": list(ps), "table2_p": tab2_p},
+        "fig8": {
+            **fig8.to_dict(),
+            "gains": {str(fw): g for fw, g in sorted(fig8.extra["gains"].items())},
+            "wall_seconds": round(t_fig8, 3),
+        },
+        "table2": {
+            **tab2.to_dict(),
+            "wall_seconds": round(t_tab2, 3),
+        },
+    }
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_OUT,
+        help=f"output file (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrunk sweep (120 particles, 5 iterations, p <= 4) for CI smoke",
+    )
+    parser.add_argument(
+        "--label", default="PR6",
+        help="snapshot label recorded in the document (default: PR6)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = snapshot(quick=args.quick, label=args.label)
+    args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    fig8_wall = doc["fig8"]["wall_seconds"]
+    tab2_wall = doc["table2"]["wall_seconds"]
+    print(
+        f"bench_snapshot: wrote {args.out} "
+        f"(fig8 {fig8_wall:.1f}s, table2 {tab2_wall:.1f}s"
+        f"{', quick' if args.quick else ''})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

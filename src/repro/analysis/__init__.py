@@ -20,20 +20,29 @@ Two complementary halves:
   :class:`~repro.trace.events.EventLog` so static findings can be
   confirmed or refuted (differential analysis).
 
+* :mod:`repro.analysis.perf` — the cost half (rules SPP201..SPP208):
+  phase attribution over the same call graph feeds a hot-path cost
+  rule pack, and ``repro perf-lint --trace`` judges the findings
+  against the calibrated performance model's per-phase time budget
+  (CONFIRMED / REFUTED / UNOBSERVED cost contracts).
+
 Entry points: ``repro lint [paths] [--format json]
-[--sanitize-selftest]`` and ``repro analyze [paths] [--format
-text|json|sarif] [--trace LOG]``.
+[--sanitize-selftest]``, ``repro analyze [paths] [--format
+text|json|sarif] [--trace LOG]`` and ``repro perf-lint [paths]
+[--format text|json|sarif] [--trace LOG]``.
 """
 
 from repro.analysis.diagnostics import (
     RULES,
     SPF_RULES,
+    SPP_RULES,
     Diagnostic,
     Rule,
     RuleInfo,
     Severity,
     all_rule_codes,
     all_spf_codes,
+    all_spp_codes,
 )
 from repro.analysis.linter import (
     collect_suppressions,
@@ -57,6 +66,10 @@ from repro.analysis.sarif import (
     write_baseline,
 )
 from repro.analysis.specflow import analyze_paths, analyze_source
+
+# Imported for the side effect of registering the SPP rule catalogue,
+# so the shared reporters' rule listing is import-order independent.
+from repro.analysis.perf import rules as _spp_rules  # noqa: F401
 from repro.analysis.sanitizer import (
     ENV_FLAG,
     ProtocolSanitizer,
@@ -69,12 +82,14 @@ from repro.analysis.sanitizer import (
 __all__ = [
     "RULES",
     "SPF_RULES",
+    "SPP_RULES",
     "Diagnostic",
     "Rule",
     "RuleInfo",
     "Severity",
     "all_rule_codes",
     "all_spf_codes",
+    "all_spp_codes",
     "analyze_paths",
     "analyze_source",
     "apply_baseline",

@@ -113,6 +113,29 @@ def all_spf_codes() -> list[str]:
     return sorted(SPF_RULES)
 
 
+#: specperf rule catalogue, keyed by code (SPP201..SPP208).  Like the
+#: SPF registry these are whole-program analyses driven by
+#: :mod:`repro.analysis.perf`; the registry records the metadata the
+#: reporters, SARIF output and the docs enumerate.
+SPP_RULES: dict[str, RuleInfo] = {}
+
+
+def register_spp_rule(
+    code: str, name: str, severity: Severity, summary: str
+) -> RuleInfo:
+    """Register one specperf rule's metadata (idempotence is an error)."""
+    if code in SPP_RULES:  # pragma: no cover - programming error
+        raise ValueError(f"duplicate specperf rule code {code}")
+    info = RuleInfo(code=code, name=name, severity=severity, summary=summary)
+    SPP_RULES[code] = info
+    return info
+
+
+def all_spp_codes() -> list[str]:
+    """Sorted list of registered specperf rule codes."""
+    return sorted(SPP_RULES)
+
+
 def register_rule(
     code: str, name: str, severity: Severity, summary: str
 ) -> Callable[[RuleFn], RuleFn]:

@@ -10,9 +10,10 @@ Suppression syntax (checked per physical line of the diagnostic):
     file (used e.g. by wall-clock backends that legitimately read the
     real clock).
 
-The same directives spelled ``# specflow: ...`` are honoured too, so
-SPF1xx suppressions read naturally next to the tool that emits them;
-both spellings suppress both rule families (codes disambiguate).
+The same directives spelled ``# specflow: ...`` or ``# specperf: ...``
+are honoured too, so SPF1xx/SPP2xx suppressions read naturally next to
+the tool that emits them; all spellings suppress all rule families
+(codes disambiguate).
 """
 
 from __future__ import annotations
@@ -28,10 +29,10 @@ from repro.analysis.diagnostics import RULES, Diagnostic, Severity
 from repro.analysis import rules as _rules  # noqa: F401
 
 _LINE_DIRECTIVE = re.compile(
-    r"#\s*spec(?:lint|flow):\s*disable=([A-Za-z0-9_,\s]+)"
+    r"#\s*spec(?:lint|flow|perf):\s*disable=([A-Za-z0-9_,\s]+)"
 )
 _FILE_DIRECTIVE = re.compile(
-    r"#\s*spec(?:lint|flow):\s*disable-file=([A-Za-z0-9_,\s]+)"
+    r"#\s*spec(?:lint|flow|perf):\s*disable-file=([A-Za-z0-9_,\s]+)"
 )
 
 #: Directories never descended into during discovery.

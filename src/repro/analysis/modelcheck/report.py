@@ -8,13 +8,12 @@ as the rule id and the shrunk schedule in the result properties.
 
 from __future__ import annotations
 
-import json
 from typing import Any, Dict, List, Sequence
 
 from repro.analysis.invariants import INVARIANTS, specmc_invariant_ids
 from repro.analysis.modelcheck.explorer import McResult
 from repro.analysis.modelcheck.model import schedule_to_json
-from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION
+from repro.analysis.reporting import render_sarif_document, stable_json
 
 __all__ = ["report_dict", "render_text", "render_json", "render_sarif_mc"]
 
@@ -92,7 +91,7 @@ def render_text(results: Sequence[McResult]) -> str:
 
 def render_json(results: Sequence[McResult]) -> str:
     """The report document as pretty-printed JSON."""
-    return json.dumps(report_dict(results), indent=2, sort_keys=True) + "\n"
+    return stable_json(report_dict(results))
 
 
 def _rules() -> List[Dict[str, Any]]:
@@ -143,22 +142,4 @@ def render_sarif_mc(results: Sequence[McResult]) -> str:
                 },
             }
         )
-    doc = {
-        "$schema": SARIF_SCHEMA,
-        "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": "specmc",
-                        "informationUri": (
-                            "https://github.com/repro/speculative-computation"
-                        ),
-                        "rules": _rules(),
-                    }
-                },
-                "results": sarif_results,
-            }
-        ],
-    }
-    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    return render_sarif_document("specmc", _rules(), sarif_results)

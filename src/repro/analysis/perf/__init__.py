@@ -1,0 +1,62 @@
+"""specperf: static hot-path cost analysis with phase-cost contracts.
+
+The third member of the analysis family.  speclint checks protocol
+*syntax* per module; specflow checks protocol *state* across the call
+graph; specperf checks protocol *cost*: which functions execute inside
+which phase of the speculative iteration (send / receive / speculate /
+compute / verify / correct), and whether their per-iteration work
+matches what the calibrated performance model (Eq. 3-9) budgets for
+that phase.
+
+Three layers:
+
+* :mod:`repro.analysis.perf.attribution` — assigns every function a
+  set of protocol phases by seeding well-known protocol entry points
+  and propagating caller → callee over the specflow call graph, plus a
+  symbolic per-call cost summary (allocations, copies, sends, loop
+  nesting);
+* :mod:`repro.analysis.perf.rules` — the SPP201..SPP208 hot-path rule
+  pack, each scoped to the phases where its cost pattern hurts;
+* :mod:`repro.analysis.perf.contracts` — the differential half:
+  replays a recorded :class:`~repro.trace.events.EventLog`, measures
+  the share of iteration time each phase actually consumed, and marks
+  static findings CONFIRMED / REFUTED / UNOBSERVED against the model's
+  phase budget.
+
+Entry point: ``repro perf-lint [paths] [--format text|json|sarif]
+[--trace LOG]`` (exit codes shared with ``lint``/``analyze``/``mc``).
+"""
+
+from repro.analysis.perf.attribution import (
+    Attribution,
+    FunctionCosts,
+    build_attribution,
+)
+from repro.analysis.perf.contracts import (
+    PHASE_OF_RULE,
+    CostVerdict,
+    check_contracts,
+    measure_phase_shares,
+    model_phase_shares,
+)
+from repro.analysis.perf.specperf import (
+    analyze_modules,
+    analyze_paths,
+    analyze_source,
+    rule_catalogue,
+)
+
+__all__ = [
+    "Attribution",
+    "CostVerdict",
+    "FunctionCosts",
+    "PHASE_OF_RULE",
+    "analyze_modules",
+    "analyze_paths",
+    "analyze_source",
+    "build_attribution",
+    "check_contracts",
+    "measure_phase_shares",
+    "model_phase_shares",
+    "rule_catalogue",
+]

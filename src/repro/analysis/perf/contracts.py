@@ -1,0 +1,235 @@
+"""Phase-cost contracts: static findings vs a measured trace.
+
+The differential half of specperf, mirroring what
+:mod:`repro.analysis.replay` does for specflow's protocol findings:
+a static finding is a *claim* about run-time cost, and a recorded
+:class:`~repro.trace.events.EventLog` is evidence for or against it.
+
+The contract is the calibrated performance model (Eq. 3-9,
+:mod:`repro.perfmodel.model`): on the bottleneck processor one
+speculative iteration decomposes into
+
+    max(spec + compute, comm) + check + k * recompute
+
+which fixes the *share* of iteration time each phase may consume.
+:func:`measure_phase_shares` extracts the same shares from a trace by
+attributing inter-event gaps on each rank (time before a ``recv`` is
+communication wait; time after a ``compute``/``speculate``/``verify``/
+``correct`` event belongs to that phase).  A static finding's phase
+(:data:`PHASE_OF_RULE`) is then judged:
+
+* **CONFIRMED** — the phase consumed more of the iteration than the
+  model budgets (beyond ``tol``): the trace is consistent with the
+  flagged overhead actually costing time;
+* **REFUTED** — the phase stayed within its budget: the pattern exists
+  but did not distort this run's phase economy;
+* **UNOBSERVED** — the trace contains no events of that phase, so it
+  is silent about the claim.
+
+Determinism: the DES is seeded, so a recorded trace — and therefore
+every verdict — is byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.perfmodel.model import ModelParams, PerformanceModel, section4_params
+from repro.trace.events import EventLog
+from repro.trace.phases import PHASES
+
+#: The measured phase a rule's cost pattern inflates when real.
+PHASE_OF_RULE: dict[str, str] = {
+    "SPP201": "comm",     # per-message copy sits on the send path
+    "SPP202": "spec",     # history rebuild feeds the speculator
+    "SPP203": "compute",  # allocation inside the force kernel
+    "SPP204": "check",    # ring scan per verified message
+    "SPP205": "compute",  # attribute churn inside the kernel
+    "SPP206": "comm",     # buffer growth on the message path
+    "SPP207": "comm",     # mutable payload forces the copy
+    "SPP208": "comm",     # sizing recomputed per message
+}
+
+#: Verdict labels (string constants shared with the reporters/tests).
+CONFIRMED = "confirmed"
+REFUTED = "refuted"
+UNOBSERVED = "unobserved"
+
+#: Gap attribution: the phase that owns time *after* an event kind.
+_AFTER_KIND = {
+    "compute": "compute",
+    "speculate": "spec",
+    "verify": "check",
+    "correct": "correct",
+    "send": "comm",
+}
+
+#: Event kinds whose presence makes a phase observable in a trace.
+_KINDS_OF_PHASE = {
+    "compute": ("compute",),
+    "spec": ("speculate",),
+    "check": ("verify",),
+    "correct": ("correct",),
+    "comm": ("send", "recv"),
+}
+
+
+def measure_phase_shares(log: EventLog) -> dict[str, float]:
+    """Fraction of traced time each phase consumed, summed over ranks.
+
+    Works on inter-event gaps per rank: the interval ending at a
+    ``recv`` is communication wait (the rank was blocked on the
+    message); otherwise the interval belongs to the phase of the event
+    that *started* it (:data:`_AFTER_KIND`), defaulting to ``idle``.
+    """
+    totals = {phase: 0.0 for phase in PHASES}
+    for rank in log.ranks():
+        events = log.for_rank(rank)
+        for prev, cur in zip(events, events[1:]):
+            gap = cur.time - prev.time
+            if gap <= 0.0:
+                continue
+            if cur.kind == "recv":
+                phase = "comm"
+            else:
+                phase = _AFTER_KIND.get(prev.kind, "idle")
+            totals[phase] += gap
+    grand = sum(totals.values())
+    if grand <= 0.0:
+        return {phase: 0.0 for phase in PHASES}
+    return {phase: t / grand for phase, t in totals.items()}
+
+
+def observed_phases(log: EventLog) -> frozenset[str]:
+    """Phases the trace actually exercised (has events of)."""
+    kinds = {ev.kind for ev in log.events}
+    return frozenset(
+        phase
+        for phase, needed in _KINDS_OF_PHASE.items()
+        if kinds.intersection(needed)
+    )
+
+
+def model_phase_shares(
+    p: int, params: Optional[ModelParams] = None
+) -> dict[str, float]:
+    """The Eq. 8 phase budget on the bottleneck rank, as shares.
+
+    Decomposes the bottleneck processor's iteration time into the five
+    protocol components (communication is the *exposed* wait — the part
+    speculation + computation fail to overlap) and normalises.
+    """
+    params = params if params is not None else section4_params()
+    p = max(1, min(p, params.max_procs))
+    shares = {phase: 0.0 for phase in PHASES}
+    if p == 1:
+        shares["compute"] = 1.0
+        return shares
+    model = PerformanceModel(params)
+    counts = model.allocation(p)
+    bottleneck = max(range(p), key=lambda i: model.t_spec_rank(p, i))
+    n_i = counts[bottleneck]
+    m_i = params.capacities[bottleneck]
+    remote = params.n - n_i
+    spec_t = remote * params.f_spec / m_i
+    comp_t = n_i * params.f_comp / m_i
+    comm_t = max(0.0, params.t_comm(p) - (spec_t + comp_t))
+    check_t = remote * params.f_check / m_i
+    correct_t = params.k * n_i * params.f_comp / m_i
+    total = spec_t + comp_t + comm_t + check_t + correct_t
+    if total <= 0.0:  # pragma: no cover - degenerate parameters
+        return shares
+    shares["compute"] = comp_t / total
+    shares["comm"] = comm_t / total
+    shares["spec"] = spec_t / total
+    shares["check"] = check_t / total
+    shares["correct"] = correct_t / total
+    return shares
+
+
+@dataclass(frozen=True, order=True)
+class CostVerdict:
+    """One rule's phase-cost claim judged against a trace."""
+
+    code: str
+    phase: str
+    measured: float
+    modeled: float
+    status: str
+
+    def format_text(self) -> str:
+        """``cost-contract SPP203 [compute]: CONFIRMED ...`` (one line)."""
+        drift = (self.measured - self.modeled) * 100.0
+        return (
+            f"cost-contract {self.code} [{self.phase}]: "
+            f"{self.status.upper()} — measured {self.measured:.1%} vs "
+            f"model {self.modeled:.1%} share ({drift:+.1f}pp)"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "phase": self.phase,
+            "measured": round(self.measured, 6),
+            "modeled": round(self.modeled, 6),
+            "status": self.status,
+        }
+
+
+def check_contracts(
+    diagnostics: Sequence[Diagnostic],
+    log: EventLog,
+    p: Optional[int] = None,
+    params: Optional[ModelParams] = None,
+    tol: float = 0.05,
+) -> tuple[dict[str, float], dict[str, float], list[CostVerdict]]:
+    """Judge every distinct finding code against the trace.
+
+    Returns ``(measured shares, model shares, verdicts)``; ``p``
+    defaults to the number of ranks in the trace.
+    """
+    measured = measure_phase_shares(log)
+    observed = observed_phases(log)
+    ranks = log.ranks()
+    p_eff = p if p is not None else max(1, len(ranks))
+    modeled = model_phase_shares(p_eff, params)
+    verdicts: list[CostVerdict] = []
+    for code in sorted({d.code for d in diagnostics}):
+        phase = PHASE_OF_RULE.get(code)
+        if phase is None:
+            continue
+        if phase not in observed:
+            status = UNOBSERVED
+        elif measured[phase] - modeled[phase] > tol:
+            status = CONFIRMED
+        else:
+            status = REFUTED
+        verdicts.append(
+            CostVerdict(
+                code=code,
+                phase=phase,
+                measured=measured[phase],
+                modeled=modeled[phase],
+                status=status,
+            )
+        )
+    return measured, modeled, verdicts
+
+
+def format_share_table(
+    measured: dict[str, float], modeled: dict[str, float]
+) -> str:
+    """Side-by-side measured vs model phase shares (text report)."""
+    lines = ["phase      measured    model"]
+    for phase in PHASES:
+        lines.append(
+            f"{phase:<9s}  {measured.get(phase, 0.0):>7.1%}  {modeled.get(phase, 0.0):>7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def iter_verdict_dicts(verdicts: Iterable[CostVerdict]) -> list[dict[str, object]]:
+    """JSON-ready verdict records (stable order)."""
+    return [v.to_dict() for v in sorted(verdicts)]

@@ -1,0 +1,107 @@
+"""specperf driver: attribution + the SPP rule pack over many files.
+
+Shaped exactly like :mod:`repro.analysis.specflow`: build every
+module's CFGs, one shared call graph, the phase attribution, then run
+the SPP201..SPP208 checkers per module.  Findings are ordinary
+:class:`~repro.analysis.diagnostics.Diagnostic` records, so the shared
+reporters, the SARIF writer, the fingerprint baselines and the
+``# specperf: disable=...`` suppression directives all behave exactly
+as they do for speclint/specflow.
+
+Entry point: :func:`analyze_paths` (what ``repro perf-lint`` calls).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.cfg import CallGraph, ModuleGraphs
+from repro.analysis.diagnostics import SPP_RULES, Diagnostic, Severity
+from repro.analysis.linter import collect_suppressions, iter_python_files
+from repro.analysis.perf.attribution import Attribution, build_attribution
+from repro.analysis.perf.rules import RULE_CHECKERS
+
+
+def _syntax_diag(path: str, exc: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        code="SPP000",
+        severity=Severity.ERROR,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def _suppressed(diag: Diagnostic, sources: dict[str, str]) -> bool:
+    source = sources.get(diag.path)
+    if source is None:
+        return False
+    per_line, file_wide = collect_suppressions(source)
+    codes = per_line.get(diag.line, set()) | file_wide
+    return bool(codes) and (diag.code.upper() in codes or "ALL" in codes)
+
+
+def analyze_modules(
+    modules: list[ModuleGraphs],
+    select: Optional[Iterable[str]] = None,
+    attribution: Optional[Attribution] = None,
+) -> list[Diagnostic]:
+    """Run every SPP rule over pre-built module graphs."""
+    wanted = {c.upper() for c in select} if select is not None else None
+
+    def on(code: str) -> bool:
+        return wanted is None or code in wanted
+
+    if attribution is None:
+        attribution = build_attribution(CallGraph(modules))
+    found: list[Diagnostic] = []
+    for module in modules:
+        for code, checker in sorted(RULE_CHECKERS.items()):
+            if on(code):
+                found.extend(checker(module, attribution))
+    sources = {m.path: m.source for m in modules}
+    # A node nested in several loops is visited once per enclosing
+    # loop; identical findings collapse to one.
+    return sorted({d for d in found if not _suppressed(d, sources)})
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Analyse one source text (testing convenience)."""
+    try:
+        module = ModuleGraphs.from_source(source, path=path)
+    except SyntaxError as exc:
+        return [_syntax_diag(path, exc)]
+    return analyze_modules([module], select=select)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    select: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Analyse every ``.py`` file under ``paths`` as one program.
+
+    One shared call graph means the phase attribution is
+    interprocedural: a helper defined in one file inherits the phase
+    of its caller in another.  Unparseable files each yield an
+    ``SPP000`` diagnostic instead of aborting the run.
+    """
+    modules: list[ModuleGraphs] = []
+    syntax_errors: list[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            modules.append(ModuleGraphs.from_source(source, path=str(file_path)))
+        except SyntaxError as exc:
+            syntax_errors.append(_syntax_diag(str(file_path), exc))
+    return sorted(syntax_errors + analyze_modules(modules, select=select))
+
+
+def rule_catalogue() -> dict[str, str]:
+    """``code -> summary`` for every registered SPP rule (docs/CLI)."""
+    return {code: SPP_RULES[code].summary for code in sorted(SPP_RULES)}

@@ -1,16 +1,34 @@
-"""speclint output formats: human text and machine JSON."""
+"""speclint output formats: human text and machine JSON.
+
+The scaffolding (text listing + summary line, stable JSON document)
+lives in :mod:`repro.analysis.reporting`, shared with specflow, specmc
+and specperf; this module binds it to the SPL/SPF/SPP rule catalogue
+and keeps the historical entry points.
+"""
 
 from __future__ import annotations
 
-import json
 from typing import Sequence
 
 from repro.analysis.diagnostics import (
     RULES,
     SPF_RULES,
+    SPP_RULES,
     Diagnostic,
-    Severity,
 )
+from repro.analysis.reporting import render_diag_json, render_diag_text
+
+
+def _catalogue() -> dict[str, str]:
+    """code → summary over every registered rule family."""
+    catalogue = {code: rule.summary for code, rule in sorted(RULES.items())}
+    catalogue.update(
+        (code, info.summary) for code, info in sorted(SPF_RULES.items())
+    )
+    catalogue.update(
+        (code, info.summary) for code, info in sorted(SPP_RULES.items())
+    )
+    return catalogue
 
 
 def render_text(
@@ -18,36 +36,14 @@ def render_text(
 ) -> str:
     """One ``path:line:col: CODE [severity] message`` line per finding,
     followed by a summary line."""
-    lines = [diag.format_text() for diag in diagnostics]
-    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
-    warnings = len(diagnostics) - errors
-    if diagnostics:
-        lines.append(f"{tool}: {errors} error(s), {warnings} warning(s)")
-    else:
-        lines.append(f"{tool}: clean")
-    return "\n".join(lines)
+    return render_diag_text(diagnostics, tool)
 
 
 def render_json(
     diagnostics: Sequence[Diagnostic], tool: str = "speclint"
 ) -> str:
     """Stable JSON document: summary counts plus one record per finding."""
-    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
-    catalogue = {code: rule.summary for code, rule in sorted(RULES.items())}
-    catalogue.update(
-        (code, info.summary) for code, info in sorted(SPF_RULES.items())
-    )
-    payload = {
-        "tool": tool,
-        "rules": catalogue,
-        "summary": {
-            "total": len(diagnostics),
-            "errors": errors,
-            "warnings": len(diagnostics) - errors,
-        },
-        "diagnostics": [d.to_dict() for d in diagnostics],
-    }
-    return json.dumps(payload, indent=2, sort_keys=True)
+    return render_diag_json(diagnostics, tool, _catalogue())
 
 
 def render(

@@ -22,16 +22,24 @@ import hashlib
 import json
 from pathlib import Path
 
-from repro.analysis.diagnostics import RULES, SPF_RULES, Diagnostic, Severity
-
-#: SARIF schema pinned by this writer.
-SARIF_VERSION = "2.1.0"
-SARIF_SCHEMA = (
-    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
-    "Schemata/sarif-schema-2.1.0.json"
+from repro.analysis.diagnostics import RULES, SPF_RULES, Diagnostic
+from repro.analysis.reporting import (
+    SARIF_LEVELS as _LEVELS,
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    render_sarif_document,
+    rule_catalogue_entries,
 )
 
-_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "render_sarif",
+    "write_baseline",
+]
 
 
 def _canonical_path(path: str) -> str:
@@ -63,28 +71,7 @@ def fingerprint(diag: Diagnostic) -> str:
 
 def _rule_catalogue() -> list[dict[str, object]]:
     """SARIF rule metadata for every registered SPL + SPF rule."""
-    rules: list[dict[str, object]] = []
-    for code in sorted(RULES):
-        rule = RULES[code]
-        rules.append(
-            {
-                "id": code,
-                "name": rule.name,
-                "shortDescription": {"text": rule.summary},
-                "defaultConfiguration": {"level": _LEVELS[rule.severity]},
-            }
-        )
-    for code in sorted(SPF_RULES):
-        info = SPF_RULES[code]
-        rules.append(
-            {
-                "id": code,
-                "name": info.name,
-                "shortDescription": {"text": info.summary},
-                "defaultConfiguration": {"level": _LEVELS[info.severity]},
-            }
-        )
-    return rules
+    return rule_catalogue_entries(RULES) + rule_catalogue_entries(SPF_RULES)
 
 
 def _result(diag: Diagnostic) -> dict[str, object]:
@@ -108,28 +95,20 @@ def _result(diag: Diagnostic) -> dict[str, object]:
 
 
 def render_sarif(
-    diagnostics: list[Diagnostic], tool_name: str = "specflow"
+    diagnostics: list[Diagnostic],
+    tool_name: str = "specflow",
+    rules: list[dict[str, object]] | None = None,
 ) -> str:
-    """One SARIF 2.1.0 document (pretty-printed JSON) for ``diagnostics``."""
-    doc = {
-        "$schema": SARIF_SCHEMA,
-        "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": tool_name,
-                        "informationUri": (
-                            "https://github.com/repro/speculative-computation"
-                        ),
-                        "rules": _rule_catalogue(),
-                    }
-                },
-                "results": [_result(d) for d in sorted(diagnostics)],
-            }
-        ],
-    }
-    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    """One SARIF 2.1.0 document (pretty-printed JSON) for ``diagnostics``.
+
+    ``rules`` overrides the advertised rule catalogue (specperf passes
+    its SPP registry; the default is the SPL + SPF catalogue).
+    """
+    return render_sarif_document(
+        tool_name,
+        rules if rules is not None else _rule_catalogue(),
+        [_result(d) for d in sorted(diagnostics)],
+    )
 
 
 # --------------------------------------------------------------------------

@@ -20,6 +20,13 @@ Subcommands
     manage the accepted-findings file CI checks in; ``--trace``
     replays a recorded event log against the same protocol model and
     reports which static findings the run confirms or refutes.
+``repro perf-lint [paths] [--format text|json|sarif] [--trace FILE]``
+    Run specperf (static hot-path cost analysis, rules SPP2xx): phase
+    attribution over the call graph plus the hot-path rule pack.
+    ``--trace`` replays a recorded event log, measures the share of
+    iteration time each protocol phase consumed, and marks findings
+    CONFIRMED/REFUTED against the calibrated performance model's
+    phase budget (Eq. 3-9).
 ``repro mc [--p 2,3] [--fw 0,1] [--iters 3] [--budget 60s] ...``
     Run specmc: exhaustively model-check every message-delivery and
     scheduling interleaving of bounded engine configurations against
@@ -233,6 +240,83 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 file=out,
             )
     if diagnostics or replay_findings:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+def _cmd_perf_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        apply_baseline,
+        load_baseline,
+        render_sarif,
+        write_baseline,
+    )
+    from repro.analysis.diagnostics import SPP_RULES
+    from repro.analysis.perf import analyze_paths, check_contracts
+    from repro.analysis.perf.contracts import CONFIRMED, format_share_table
+    from repro.analysis.reporting import (
+        render_diag_json,
+        render_diag_text,
+        rule_catalogue_entries,
+    )
+
+    paths = args.paths or ["src"]
+    try:
+        diagnostics = analyze_paths(paths, select=args.select)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
+    if args.write_baseline:
+        count = write_baseline(diagnostics, args.write_baseline)
+        print(
+            f"specperf: baseline with {count} fingerprint(s) written to "
+            f"{args.write_baseline}"
+        )
+        return EXIT_CLEAN
+    if args.baseline:
+        try:
+            accepted = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"specperf: cannot read baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        diagnostics = apply_baseline(diagnostics, accepted)
+    if args.format == "sarif":
+        print(
+            render_sarif(
+                diagnostics,
+                tool_name="specperf",
+                rules=rule_catalogue_entries(SPP_RULES),
+            ),
+            end="",
+        )
+    elif args.format == "json":
+        catalogue = {code: info.summary for code, info in SPP_RULES.items()}
+        print(render_diag_json(diagnostics, "specperf", catalogue))
+    else:
+        print(render_diag_text(diagnostics, "specperf"))
+    confirmed = 0
+    if args.trace:
+        from repro.trace import EventLog
+
+        try:
+            log = EventLog.load(args.trace)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"specperf: cannot read trace: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        measured, modeled, verdicts = check_contracts(
+            diagnostics, log, p=args.model_p, tol=args.tol
+        )
+        out = sys.stdout if args.format == "text" else sys.stderr
+        print(format_share_table(measured, modeled), file=out)
+        for verdict in verdicts:
+            print(verdict.format_text(), file=out)
+        if not verdicts:
+            print(
+                "cost contracts: no specperf findings to cross-reference",
+                file=out,
+            )
+        confirmed = sum(1 for v in verdicts if v.status == CONFIRMED)
+    if diagnostics or confirmed:
         return EXIT_FINDINGS
     return EXIT_CLEAN
 
@@ -475,6 +559,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="backward window used by the trace replay's staleness check",
     )
     p_an.set_defaults(func=_cmd_analyze)
+
+    p_pl = sub.add_parser(
+        "perf-lint",
+        help="run specperf (static hot-path cost analysis with "
+        "trace-validated phase-cost contracts)",
+    )
+    p_pl.add_argument(
+        "paths", nargs="*", help="files/directories to analyse (default: src)"
+    )
+    p_pl.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format",
+    )
+    p_pl.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="only run the given rule (repeatable), e.g. --select SPP203",
+    )
+    p_pl.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings whose fingerprints this baseline accepts",
+    )
+    p_pl.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as the accepted baseline and exit 0",
+    )
+    p_pl.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="replay a recorded event log (JSONL), measure per-phase "
+        "time shares, and judge findings against the model's phase "
+        "budget",
+    )
+    p_pl.add_argument(
+        "--model-p",
+        type=int,
+        default=None,
+        metavar="P",
+        help="processor count for the model budget (default: ranks in "
+        "the trace)",
+    )
+    p_pl.add_argument(
+        "--tol",
+        type=float,
+        default=0.05,
+        metavar="X",
+        help="share drift tolerated before a finding is CONFIRMED "
+        "(default: 0.05)",
+    )
+    p_pl.set_defaults(func=_cmd_perf_lint)
 
     p_mc = sub.add_parser(
         "mc",

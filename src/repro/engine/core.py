@@ -393,7 +393,9 @@ class SpecEngine:
             inputs2[j] = self.chain[t2]
             for k2 in sorted(self.needed):
                 if (k2, t2) in self.spec_used:
-                    times, values = self.history[k2].series()
+                    # The ring may grow mid-cascade (arrivals interleave
+                    # with the Charge yields), so it is re-read per step.
+                    times, values = self.history[k2].series()  # specperf: disable=SPP204
                     respec = prog.speculate(j, k2, times, values, t2)
                     yield Charge(
                         prog.speculate_ops(j, k2), phase="correct", iteration=t2

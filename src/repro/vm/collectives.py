@@ -33,17 +33,49 @@ from typing import Any, Callable, Generator, Hashable, Optional
 
 import numpy as np
 
+from repro.vm.message import Message
 from repro.vm.processor import VirtualProcessor
+
+#: Scalar types that are immutable by construction.
+_IMMUTABLE_SCALARS = (bool, int, float, complex, str, bytes)
+
+#: Recursion bound for the structural immutability probe; deeper
+#: payloads fall back to the safe deep copy.
+_IMMUTABLE_MAX_DEPTH = 8
+
+
+def _is_immutable(value: Any, depth: int = 0) -> bool:
+    """Is ``value`` structurally immutable (safe to send uncopied)?
+
+    True for None, scalars/strings/bytes, tuples and frozensets whose
+    elements are themselves immutable, and frozen :class:`Message`
+    records carrying an immutable payload.  Anything else — lists,
+    dicts, ndarrays, dataclass blocks — is treated as mutable, so the
+    caller copies it.
+    """
+    if depth > _IMMUTABLE_MAX_DEPTH:
+        return False
+    if value is None or isinstance(value, _IMMUTABLE_SCALARS):
+        return True
+    if isinstance(value, (tuple, frozenset)):
+        return all(_is_immutable(item, depth + 1) for item in value)
+    if isinstance(value, Message):
+        # The envelope is frozen; only the payload could be shared.
+        return _is_immutable(value.payload, depth + 1)
+    return False
 
 
 def isolate_payload(value: Any) -> Any:
     """A mutation-proof copy of ``value`` for sending.
 
-    numpy arrays take the fast ``.copy()`` path; immutable scalars and
-    strings pass through untouched; everything else (lists, dicts,
+    Structurally immutable payloads — scalars, strings, bytes, tuples
+    of scalars, frozen :class:`Message` records with immutable
+    payloads — pass through untouched (nobody can mutate them, so the
+    receiver may safely alias the sender's object); numpy arrays take
+    the fast ``.copy()`` path; everything else (lists, dicts,
     dataclass blocks...) is ``copy.deepcopy``-ed.
     """
-    if value is None or isinstance(value, (bool, int, float, complex, str, bytes)):
+    if _is_immutable(value):
         return value
     if isinstance(value, np.ndarray):
         return value.copy()

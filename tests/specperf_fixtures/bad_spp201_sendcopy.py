@@ -1,0 +1,12 @@
+"""Fixture: SPP201 — per-message deepcopy without a fast path.
+
+The send-phase payload isolator deep-copies unconditionally: every
+message pays O(payload) even when the payload is already immutable.
+The fixed idiom (``good_hot_path.py``) probes immutability first.
+"""
+
+import copy
+
+
+def isolate_payload(value):
+    return copy.deepcopy(value)   # SPP201: no immutability probe

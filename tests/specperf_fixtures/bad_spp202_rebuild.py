@@ -1,0 +1,14 @@
+"""Fixture: SPP202 — history container rebuilt inside a loop.
+
+The speculator re-sorts the whole arrival history once per target
+iteration: O(targets x history log history) where an incremental
+index would be O(targets).
+"""
+
+
+def speculate(history, targets):
+    out = ()
+    for t in targets:
+        recent = sorted(history)[-4:]   # SPP202: rebuilt per target
+        out += (recent[-1] + t,)
+    return out

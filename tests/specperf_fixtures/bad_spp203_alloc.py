@@ -1,0 +1,17 @@
+"""Fixture: SPP203 — allocation inside the innermost compute loop.
+
+The per-pair force loop allocates a fresh scratch vector on every
+pair: the allocator runs N^2 times per iteration.  Hoisting the
+buffer out of the loop removes all but one allocation.
+"""
+
+import numpy as np
+
+
+def compute(state, pairs):
+    total = 0.0
+    for i, j in pairs:
+        scratch = np.zeros(3)          # SPP203: one allocation per pair
+        scratch += state[i] - state[j]
+        total += float(scratch.sum())
+    return total

@@ -1,0 +1,19 @@
+"""Fixture: SPP204 — linear HistoryRing scan in a per-message loop.
+
+The verifier calls ``lookup`` on the history ring once per incoming
+message: each lookup walks the ring, so verification costs
+O(messages x history) per iteration instead of O(messages).
+"""
+
+
+class Verifier:
+    def __init__(self, ring):
+        self.history = ring
+
+    def verify(self, messages):
+        bad = 0
+        for msg in messages:
+            expected = self.history.lookup(msg.iteration)   # SPP204
+            if expected != msg.payload:
+                bad += 1
+        return bad

@@ -1,0 +1,19 @@
+"""Fixture: SPP205 — attribute chain re-resolved in the kernel loop.
+
+``self.state.pos`` is resolved three times per pair; binding it to a
+local before the loop turns three attribute lookups per pair into
+zero.
+"""
+
+
+class Kernel:
+    def __init__(self, state):
+        self.state = state
+
+    def compute(self, pairs):
+        acc = 0.0
+        for i, j in pairs:
+            acc += self.state.pos[i] * self.state.mass[j]   # SPP205
+            acc -= self.state.pos[j] * self.state.mass[i]
+            acc *= 1.0 + self.state.pos[i]
+        return acc

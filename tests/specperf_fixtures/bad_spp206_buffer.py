@@ -1,0 +1,15 @@
+"""Fixture: SPP206 — unbounded event buffer appended to in a hot loop.
+
+The arrival handler accumulates every event forever: memory and any
+later scan grow linearly with run length.  A ring buffer (or trimming
+on consumption) bounds it.
+"""
+
+
+class Collector:
+    def __init__(self):
+        self.events = []
+
+    def record_arrival(self, batch):
+        for item in batch:
+            self.events.append(item)   # SPP206: never trimmed

@@ -1,0 +1,10 @@
+"""Fixture: SPP207 — freshly built mutable payload handed to send.
+
+The broadcast payload is a brand-new list, so payload isolation must
+deep-copy it on every send; building a tuple instead makes the
+payload hit the immutability fast path.
+"""
+
+
+def publish(proc, state, t):
+    proc.broadcast([state.x, state.y], tag=("vars", t))   # SPP207

@@ -1,0 +1,12 @@
+"""Fixture: SPP208 — loop-invariant payload sizing per message.
+
+``payload_nbytes(state)`` walks the whole payload, yet ``state`` does
+not change across the fan-out loop: the size can be computed once
+before the loop.
+"""
+
+
+def fanout(proc, peers, state, t):
+    for dst in peers:
+        size = payload_nbytes(state)   # SPP208: state is loop-invariant
+        proc.send(dst, state, tag=("vars", t), nbytes=size)

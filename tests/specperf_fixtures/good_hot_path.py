@@ -1,0 +1,29 @@
+"""Fixture: the fixed idioms — every SPP rule stays silent here.
+
+The payload isolator probes immutability before copying (SPP201), the
+fan-out hoists the size computation (SPP208) and sends an immutable
+tuple (SPP207), and nothing rebuilds history or allocates inside a
+kernel loop.
+"""
+
+import copy
+
+
+def _is_immutable(value):
+    return isinstance(value, (int, float, str, bytes, tuple))
+
+
+def isolate_payload(value):
+    if _is_immutable(value):
+        return value
+    return copy.deepcopy(value)
+
+
+def payload_nbytes(value):
+    return 8
+
+
+def fanout(proc, peers, state, t):
+    size = payload_nbytes(state)
+    for dst in peers:
+        proc.send(dst, state, tag=("vars", t), nbytes=size)

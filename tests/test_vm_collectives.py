@@ -156,6 +156,89 @@ def test_collectives_traverse_the_network():
     assert all(t >= 1.0 for t in times[1:])
 
 
+# ------------------------------------------------------ payload isolation
+import copy
+
+import numpy as np
+
+from repro.vm.collectives import _is_immutable, isolate_payload
+from repro.vm.message import Message
+
+
+class TestIsolatePayloadParity:
+    """The immutability fast path must not change isolation semantics:
+    mutable payloads still come back as independent copies, immutable
+    payloads may alias (nobody can mutate them)."""
+
+    def test_mutable_payloads_are_still_isolated(self):
+        for original in (
+            [1, 2, 3],
+            {"a": [1.0, 2.0]},
+            {"nested": {"deep": [0]}},
+            ([1], [2]),          # tuple of mutables is NOT immutable
+            (np.arange(3),),     # tuple holding an ndarray
+        ):
+            reference = copy.deepcopy(original)
+            isolated = isolate_payload(original)
+            assert isolated is not original
+            # Mutating the sender's object must not leak into the copy.
+            if isinstance(original, list):
+                original.append(99)
+            elif isinstance(original, dict):
+                next(iter(original.values()))
+                original["mutant"] = True
+            else:
+                inner = original[0]
+                if isinstance(inner, np.ndarray):
+                    inner += 7
+                else:
+                    inner.append(99)
+            if isinstance(isolated, tuple):
+                for iso, ref in zip(isolated, reference):
+                    assert np.array_equal(iso, ref) if isinstance(ref, np.ndarray) else iso == ref
+            else:
+                assert isolated == reference
+
+    def test_ndarray_takes_copy_path(self):
+        arr = np.arange(4.0)
+        isolated = isolate_payload(arr)
+        assert isolated is not arr
+        arr[0] = -1.0
+        assert isolated[0] == 0.0
+
+    def test_immutable_payloads_pass_through(self):
+        frozen_msg = Message(
+            src=0, dst=1, tag=("vars", 3), payload=(1.0, 2.0),
+            nbytes=16, sent_at=0.0,
+        )
+        for value in (
+            None, True, 7, 3.5, 2j, "s", b"bytes",
+            (1.0, 2.0, 3.0), (1, (2, (3,))), frozenset({1, 2}),
+            frozen_msg,
+        ):
+            assert _is_immutable(value)
+            assert isolate_payload(value) is value
+
+    def test_message_with_mutable_payload_is_copied(self):
+        msg = Message(
+            src=0, dst=1, tag=("vars", 1), payload=[1, 2],
+            nbytes=16, sent_at=0.0,
+        )
+        assert not _is_immutable(msg)
+        isolated = isolate_payload(msg)
+        assert isolated is not msg
+        msg.payload.append(3)
+        assert isolated.payload == [1, 2]
+
+    def test_deeply_nested_tuple_falls_back_to_copy(self):
+        # Beyond the probe's recursion bound the safe deep copy wins.
+        value = (1.0,)
+        for _ in range(20):
+            value = (value,)
+        isolated = isolate_payload(value)
+        assert isolated == value
+
+
 # ---------------------------------------------------------- property tests
 import functools
 import operator as _op
