@@ -26,16 +26,27 @@ Two complementary halves:
   against the calibrated performance model's per-phase time budget
   (CONFIRMED / REFUTED / UNOBSERVED cost contracts).
 
+* :mod:`repro.analysis.taint` — the escape half (rules
+  SPT301..SPT308): forward taint abstract interpretation over the
+  same CFGs + call graph proving unconfirmed speculative values never
+  reach an irreversible effect (I/O, sends, stores outliving the
+  backward window); ``@commits`` / ``# spectaint: commit`` annotate
+  legitimate confirmation sites, and ``repro taint --trace`` judges
+  findings against a recorded event log.
+
 Entry points: ``repro lint [paths] [--format json]
 [--sanitize-selftest]``, ``repro analyze [paths] [--format
-text|json|sarif] [--trace LOG]`` and ``repro perf-lint [paths]
-[--format text|json|sarif] [--trace LOG]``.
+text|json|sarif] [--trace LOG]``, ``repro perf-lint [paths] ...``,
+``repro taint [paths] ...`` and the umbrella ``repro check [paths]
+[--sarif FILE]`` running all four families over one shared parse
+(:class:`~repro.analysis.program.ProgramIndex`).
 """
 
 from repro.analysis.diagnostics import (
     RULES,
     SPF_RULES,
     SPP_RULES,
+    SPT_RULES,
     Diagnostic,
     Rule,
     RuleInfo,
@@ -43,13 +54,17 @@ from repro.analysis.diagnostics import (
     all_rule_codes,
     all_spf_codes,
     all_spp_codes,
+    all_spt_codes,
 )
 from repro.analysis.linter import (
     collect_suppressions,
+    drop_suppressed,
     iter_python_files,
     lint_paths,
     lint_source,
+    parse_suppressions,
 )
+from repro.analysis.program import ProgramIndex, syntax_diagnostic
 from repro.analysis.replay import (
     ReplayFinding,
     ReplayReport,
@@ -67,9 +82,11 @@ from repro.analysis.sarif import (
 )
 from repro.analysis.specflow import analyze_paths, analyze_source
 
-# Imported for the side effect of registering the SPP rule catalogue,
-# so the shared reporters' rule listing is import-order independent.
+# Imported for the side effect of registering the SPP and SPT rule
+# catalogues, so the shared reporters' rule listing is import-order
+# independent.
 from repro.analysis.perf import rules as _spp_rules  # noqa: F401
+from repro.analysis.taint import rules as _spt_rules  # noqa: F401
 from repro.analysis.sanitizer import (
     ENV_FLAG,
     ProtocolSanitizer,
@@ -83,13 +100,16 @@ __all__ = [
     "RULES",
     "SPF_RULES",
     "SPP_RULES",
+    "SPT_RULES",
     "Diagnostic",
+    "ProgramIndex",
     "Rule",
     "RuleInfo",
     "Severity",
     "all_rule_codes",
     "all_spf_codes",
     "all_spp_codes",
+    "all_spt_codes",
     "analyze_paths",
     "analyze_source",
     "apply_baseline",
@@ -103,9 +123,12 @@ __all__ = [
     "ReplayReport",
     "Verdict",
     "collect_suppressions",
+    "drop_suppressed",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "parse_suppressions",
+    "syntax_diagnostic",
     "render",
     "render_json",
     "render_text",

@@ -136,6 +136,29 @@ def all_spp_codes() -> list[str]:
     return sorted(SPP_RULES)
 
 
+#: spectaint rule catalogue, keyed by code (SPT301..SPT308).  Like the
+#: SPF/SPP registries these are whole-program analyses driven by
+#: :mod:`repro.analysis.taint`; the registry records the metadata the
+#: reporters, SARIF output and the docs enumerate.
+SPT_RULES: dict[str, RuleInfo] = {}
+
+
+def register_spt_rule(
+    code: str, name: str, severity: Severity, summary: str
+) -> RuleInfo:
+    """Register one spectaint rule's metadata (idempotence is an error)."""
+    if code in SPT_RULES:  # pragma: no cover - programming error
+        raise ValueError(f"duplicate spectaint rule code {code}")
+    info = RuleInfo(code=code, name=name, severity=severity, summary=summary)
+    SPT_RULES[code] = info
+    return info
+
+
+def all_spt_codes() -> list[str]:
+    """Sorted list of registered spectaint rule codes."""
+    return sorted(SPT_RULES)
+
+
 def register_rule(
     code: str, name: str, severity: Severity, summary: str
 ) -> Callable[[RuleFn], RuleFn]:

@@ -10,10 +10,16 @@ Suppression syntax (checked per physical line of the diagnostic):
     file (used e.g. by wall-clock backends that legitimately read the
     real clock).
 
-The same directives spelled ``# specflow: ...`` or ``# specperf: ...``
-are honoured too, so SPF1xx/SPP2xx suppressions read naturally next to
-the tool that emits them; all spellings suppress all rule families
-(codes disambiguate).
+The same directives spelled ``# specflow: ...``, ``# specperf: ...``
+or ``# spectaint: ...`` are honoured too, so SPF1xx/SPP2xx/SPT3xx
+suppressions read naturally next to the tool that emits them; all
+spellings suppress all rule families (codes disambiguate), and one
+directive may name ids from several tools at once
+(``# speclint: disable=SPL001,SPT301``).
+
+:func:`parse_suppressions` is the single implementation every family
+(speclint, specflow, specperf, spectaint) consults — the per-tool
+drivers all route through :func:`drop_suppressed`.
 """
 
 from __future__ import annotations
@@ -29,10 +35,10 @@ from repro.analysis.diagnostics import RULES, Diagnostic, Severity
 from repro.analysis import rules as _rules  # noqa: F401
 
 _LINE_DIRECTIVE = re.compile(
-    r"#\s*spec(?:lint|flow|perf):\s*disable=([A-Za-z0-9_,\s]+)"
+    r"#\s*spec(?:lint|flow|perf|taint):\s*disable=([A-Za-z0-9_,\s]+)"
 )
 _FILE_DIRECTIVE = re.compile(
-    r"#\s*spec(?:lint|flow|perf):\s*disable-file=([A-Za-z0-9_,\s]+)"
+    r"#\s*spec(?:lint|flow|perf|taint):\s*disable-file=([A-Za-z0-9_,\s]+)"
 )
 
 #: Directories never descended into during discovery.
@@ -43,19 +49,28 @@ def _parse_codes(raw: str) -> set[str]:
     return {part.strip().upper() for part in raw.split(",") if part.strip()}
 
 
-def collect_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
-    """(per-line, file-wide) suppressed rule codes from directives."""
+def parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """(per-line, file-wide) suppressed rule codes from directives.
+
+    Every directive on a line contributes (a line may carry both a
+    ``# speclint:`` and a ``# spectaint:`` directive), and every
+    spelling accepts every family's codes.
+    """
     per_line: dict[int, set[str]] = {}
     file_wide: set[str] = set()
     for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _FILE_DIRECTIVE.search(line)
-        if match:
+        for match in _FILE_DIRECTIVE.finditer(line):
             file_wide |= _parse_codes(match.group(1))
-            continue
-        match = _LINE_DIRECTIVE.search(line)
-        if match:
+        # Strip file-wide directives first: the line regex would also
+        # match inside ``disable-file=...`` ("disable" is a prefix).
+        remainder = _FILE_DIRECTIVE.sub("", line)
+        for match in _LINE_DIRECTIVE.finditer(remainder):
             per_line.setdefault(lineno, set()).update(_parse_codes(match.group(1)))
     return per_line, file_wide
+
+
+#: Historical name, kept for callers that predate the unification.
+collect_suppressions = parse_suppressions
 
 
 def _suppressed(
@@ -63,6 +78,31 @@ def _suppressed(
 ) -> bool:
     codes = per_line.get(diag.line, set()) | file_wide
     return bool(codes) and (diag.code.upper() in codes or "ALL" in codes)
+
+
+def drop_suppressed(
+    diagnostics: Iterable[Diagnostic], sources: dict[str, str]
+) -> list[Diagnostic]:
+    """Filter findings through the suppression directives of their files.
+
+    ``sources`` maps diagnostic paths to their source text; findings in
+    unknown files pass through unfiltered.  Shared by the specflow,
+    specperf and spectaint drivers (speclint filters inline in
+    :func:`lint_source`, where it already holds the parsed directives).
+    """
+    parsed: dict[str, tuple[dict[int, set[str]], set[str]]] = {}
+    kept: list[Diagnostic] = []
+    for diag in diagnostics:
+        source = sources.get(diag.path)
+        if source is None:
+            kept.append(diag)
+            continue
+        if diag.path not in parsed:
+            parsed[diag.path] = parse_suppressions(source)
+        per_line, file_wide = parsed[diag.path]
+        if not _suppressed(diag, per_line, file_wide):
+            kept.append(diag)
+    return kept
 
 
 def lint_source(
@@ -88,7 +128,22 @@ def lint_source(
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    per_line, file_wide = collect_suppressions(source)
+    return lint_module(tree, path, source, select=select)
+
+
+def lint_module(
+    tree: ast.Module,
+    path: str,
+    source: str,
+    select: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Run the rules over an already-parsed module.
+
+    The umbrella ``repro check`` parses every file exactly once and
+    feeds the same tree to every analysis family; this is speclint's
+    seat at that shared cache.
+    """
+    per_line, file_wide = parse_suppressions(source)
     wanted = set(code.upper() for code in select) if select is not None else None
     found: list[Diagnostic] = []
     for code, rule in sorted(RULES.items()):

@@ -17,45 +17,34 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis.cfg import CallGraph, ModuleGraphs
-from repro.analysis.diagnostics import SPP_RULES, Diagnostic, Severity
-from repro.analysis.linter import collect_suppressions, iter_python_files
+from repro.analysis.diagnostics import SPP_RULES, Diagnostic
+from repro.analysis.linter import drop_suppressed, iter_python_files
 from repro.analysis.perf.attribution import Attribution, build_attribution
 from repro.analysis.perf.rules import RULE_CHECKERS
-
-
-def _syntax_diag(path: str, exc: SyntaxError) -> Diagnostic:
-    return Diagnostic(
-        path=path,
-        line=exc.lineno or 1,
-        col=(exc.offset or 1) - 1,
-        code="SPP000",
-        severity=Severity.ERROR,
-        message=f"syntax error: {exc.msg}",
-    )
-
-
-def _suppressed(diag: Diagnostic, sources: dict[str, str]) -> bool:
-    source = sources.get(diag.path)
-    if source is None:
-        return False
-    per_line, file_wide = collect_suppressions(source)
-    codes = per_line.get(diag.line, set()) | file_wide
-    return bool(codes) and (diag.code.upper() in codes or "ALL" in codes)
+from repro.analysis.program import syntax_diagnostic
 
 
 def analyze_modules(
     modules: list[ModuleGraphs],
     select: Optional[Iterable[str]] = None,
     attribution: Optional[Attribution] = None,
+    callgraph: Optional[CallGraph] = None,
 ) -> list[Diagnostic]:
-    """Run every SPP rule over pre-built module graphs."""
+    """Run every SPP rule over pre-built module graphs.
+
+    ``callgraph`` lets the umbrella ``repro check`` pass its shared
+    :class:`~repro.analysis.program.ProgramIndex` graph instead of
+    rebuilding one for the attribution.
+    """
     wanted = {c.upper() for c in select} if select is not None else None
 
     def on(code: str) -> bool:
         return wanted is None or code in wanted
 
     if attribution is None:
-        attribution = build_attribution(CallGraph(modules))
+        attribution = build_attribution(
+            callgraph if callgraph is not None else CallGraph(modules)
+        )
     found: list[Diagnostic] = []
     for module in modules:
         for code, checker in sorted(RULE_CHECKERS.items()):
@@ -64,7 +53,7 @@ def analyze_modules(
     sources = {m.path: m.source for m in modules}
     # A node nested in several loops is visited once per enclosing
     # loop; identical findings collapse to one.
-    return sorted({d for d in found if not _suppressed(d, sources)})
+    return sorted(set(drop_suppressed(found, sources)))
 
 
 def analyze_source(
@@ -76,7 +65,7 @@ def analyze_source(
     try:
         module = ModuleGraphs.from_source(source, path=path)
     except SyntaxError as exc:
-        return [_syntax_diag(path, exc)]
+        return [syntax_diagnostic(path, exc, "SPP000")]
     return analyze_modules([module], select=select)
 
 
@@ -98,7 +87,7 @@ def analyze_paths(
         try:
             modules.append(ModuleGraphs.from_source(source, path=str(file_path)))
         except SyntaxError as exc:
-            syntax_errors.append(_syntax_diag(str(file_path), exc))
+            syntax_errors.append(syntax_diagnostic(str(file_path), exc, "SPP000"))
     return sorted(syntax_errors + analyze_modules(modules, select=select))
 
 

@@ -1,0 +1,71 @@
+"""One shared parse of the program for every analysis family.
+
+``repro analyze`` and ``repro perf-lint`` each used to re-discover the
+files, re-parse every module and rebuild the interprocedural call
+graph from scratch; with four analysis families the umbrella ``repro
+check`` would have parsed the tree four times.  :class:`ProgramIndex`
+is the single cache they now share: files are discovered once, each
+parseable file becomes exactly one
+:class:`~repro.analysis.cfg.ModuleGraphs` (tree + source + CFGs), the
+:class:`~repro.analysis.cfg.CallGraph` is built lazily once, and
+syntax errors are recorded per file so every tool can report them
+under its own ``xxx000`` code without re-hitting the parser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.cfg import CallGraph, ModuleGraphs
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.linter import iter_python_files
+
+
+def syntax_diagnostic(path: str, exc: SyntaxError, code: str) -> Diagnostic:
+    """The per-tool unparseable-file finding (SPL000/SPF000/SPP000/SPT000)."""
+    return Diagnostic(
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        code=code,
+        severity=Severity.ERROR,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+class ProgramIndex:
+    """Parsed modules + call graph for one set of paths, built once."""
+
+    def __init__(self, paths: Sequence[str | Path]) -> None:
+        self.modules: list[ModuleGraphs] = []
+        #: ``(path, exception)`` for every unparseable file.
+        self.syntax_errors: list[tuple[str, SyntaxError]] = []
+        self._callgraph: Optional[CallGraph] = None
+        for file_path in iter_python_files(paths):
+            source = file_path.read_text(encoding="utf-8")
+            try:
+                self.modules.append(
+                    ModuleGraphs.from_source(source, path=str(file_path))
+                )
+            except SyntaxError as exc:
+                self.syntax_errors.append((str(file_path), exc))
+
+    @property
+    def callgraph(self) -> CallGraph:
+        """The shared interprocedural call graph (built on first use)."""
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.modules)
+        return self._callgraph
+
+    @property
+    def sources(self) -> dict[str, str]:
+        """``path -> source text`` for suppression filtering."""
+        return {m.path: m.source for m in self.modules}
+
+    def syntax_diags(self, code: str) -> list[Diagnostic]:
+        """Every syntax error as one diagnostic under ``code``."""
+        return [
+            syntax_diagnostic(path, exc, code)
+            for path, exc in self.syntax_errors
+        ]

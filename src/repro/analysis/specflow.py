@@ -27,8 +27,9 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis.cfg import CallGraph, ModuleGraphs
-from repro.analysis.diagnostics import SPF_RULES, Diagnostic, Severity
-from repro.analysis.linter import collect_suppressions, iter_python_files
+from repro.analysis.diagnostics import SPF_RULES, Diagnostic
+from repro.analysis.linter import drop_suppressed, iter_python_files
+from repro.analysis.program import syntax_diagnostic
 
 # Imported for the side effect of registering the SPF rule catalogue.
 from repro.analysis import races, typestate  # noqa: F401
@@ -41,39 +42,24 @@ from repro.analysis.typestate import (
 )
 
 
-def _syntax_diag(path: str, exc: SyntaxError) -> Diagnostic:
-    return Diagnostic(
-        path=path,
-        line=exc.lineno or 1,
-        col=(exc.offset or 1) - 1,
-        code="SPF000",
-        severity=Severity.ERROR,
-        message=f"syntax error: {exc.msg}",
-    )
-
-
-def _suppressed(
-    diag: Diagnostic, sources: dict[str, str]
-) -> bool:
-    source = sources.get(diag.path)
-    if source is None:
-        return False
-    per_line, file_wide = collect_suppressions(source)
-    codes = per_line.get(diag.line, set()) | file_wide
-    return bool(codes) and (diag.code.upper() in codes or "ALL" in codes)
-
-
 def analyze_modules(
     modules: list[ModuleGraphs],
     select: Optional[Iterable[str]] = None,
+    callgraph: Optional[CallGraph] = None,
 ) -> list[Diagnostic]:
-    """Run every SPF rule over pre-built module graphs."""
+    """Run every SPF rule over pre-built module graphs.
+
+    ``callgraph`` lets the umbrella ``repro check`` pass its shared
+    :class:`~repro.analysis.program.ProgramIndex` graph instead of
+    rebuilding one here.
+    """
     wanted = {c.upper() for c in select} if select is not None else None
 
     def on(code: str) -> bool:
         return wanted is None or code in wanted
 
-    callgraph = CallGraph(modules)
+    if callgraph is None:
+        callgraph = CallGraph(modules)
     summaries = compute_summaries(callgraph)
     found: list[Diagnostic] = []
     for module in modules:
@@ -90,7 +76,7 @@ def analyze_modules(
         if on("SPF111"):
             found.extend(check_spf111(graph, sites))
     sources = {m.path: m.source for m in modules}
-    return sorted(d for d in found if not _suppressed(d, sources))
+    return sorted(drop_suppressed(found, sources))
 
 
 def analyze_source(
@@ -102,7 +88,7 @@ def analyze_source(
     try:
         module = ModuleGraphs.from_source(source, path=path)
     except SyntaxError as exc:
-        return [_syntax_diag(path, exc)]
+        return [syntax_diagnostic(path, exc, "SPF000")]
     return analyze_modules([module], select=select)
 
 
@@ -124,7 +110,7 @@ def analyze_paths(
         try:
             modules.append(ModuleGraphs.from_source(source, path=str(file_path)))
         except SyntaxError as exc:
-            syntax_errors.append(_syntax_diag(str(file_path), exc))
+            syntax_errors.append(syntax_diagnostic(str(file_path), exc, "SPF000"))
     return sorted(syntax_errors + analyze_modules(modules, select=select))
 
 

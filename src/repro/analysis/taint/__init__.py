@@ -1,0 +1,62 @@
+"""spectaint: speculation-escape & rollback-safety abstract interpretation.
+
+Forward taint analysis over the specflow CFG + call graph proving
+that values derived from unconfirmed speculative receives never reach
+an irreversible effect (SPT301–SPT308), plus the commit-point
+annotation API (:func:`commits`) and the trace-replay verdict layer
+(:func:`check_taint`).
+"""
+
+from repro.analysis.taint.annotations import COMMITS_ATTR, commits, is_commit_point
+from repro.analysis.taint.lattice import (
+    COMMITTED,
+    SPEC,
+    TaintAnalysis,
+    TaintContext,
+    TaintSummary,
+    commit_lines_of,
+    compute_taint_summaries,
+    declared_commit_points,
+    unconfirmed,
+)
+from repro.analysis.taint.spectaint import (
+    analyze_modules,
+    analyze_paths,
+    analyze_source,
+    rule_catalogue,
+)
+from repro.analysis.taint.verdicts import (
+    CONFIRMED,
+    REFUTED,
+    UNOBSERVED,
+    EscapeWitness,
+    TaintVerdict,
+    check_taint,
+    find_escapes,
+)
+
+__all__ = [
+    "COMMITS_ATTR",
+    "COMMITTED",
+    "CONFIRMED",
+    "EscapeWitness",
+    "REFUTED",
+    "SPEC",
+    "TaintAnalysis",
+    "TaintContext",
+    "TaintSummary",
+    "TaintVerdict",
+    "UNOBSERVED",
+    "analyze_modules",
+    "analyze_paths",
+    "analyze_source",
+    "check_taint",
+    "commit_lines_of",
+    "commits",
+    "compute_taint_summaries",
+    "declared_commit_points",
+    "find_escapes",
+    "is_commit_point",
+    "rule_catalogue",
+    "unconfirmed",
+]

@@ -27,6 +27,19 @@ Subcommands
     iteration time each protocol phase consumed, and marks findings
     CONFIRMED/REFUTED against the calibrated performance model's
     phase budget (Eq. 3-9).
+``repro taint [paths] [--format text|json|sarif] [--trace FILE]``
+    Run spectaint (speculation-escape & rollback-safety abstract
+    interpretation, rules SPT3xx): forward taint over the shared CFG +
+    call graph proving unconfirmed speculative values never reach an
+    irreversible effect.  ``--trace`` replays a recorded event log and
+    marks each finding CONFIRMED (a send demonstrably ran during an
+    open speculation window), REFUTED or UNOBSERVED.
+``repro check [paths] [--sarif FILE] [--migrate-baselines]``
+    Umbrella: run all four families (speclint, specflow, specperf,
+    spectaint) in one process over one shared parse + call graph,
+    optionally writing a single merged SARIF document;
+    ``--migrate-baselines`` performs the one-shot move of legacy
+    per-tool baseline files into ``.speclint/baselines.json``.
 ``repro mc [--p 2,3] [--fw 0,1] [--iters 3] [--budget 60s] ...``
     Run specmc: exhaustively model-check every message-delivery and
     scheduling interleaving of bounded engine configurations against
@@ -183,7 +196,6 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import (
         analyze_paths,
         apply_baseline,
-        load_baseline,
         render,
         render_sarif,
         write_baseline,
@@ -204,7 +216,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return EXIT_CLEAN
     if args.baseline:
         try:
-            accepted = load_baseline(args.baseline)
+            accepted = _load_accepted("specflow", args.baseline)
         except (OSError, ValueError) as exc:
             print(f"specflow: cannot read baseline: {exc}", file=sys.stderr)
             return EXIT_USAGE
@@ -247,7 +259,6 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_perf_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         apply_baseline,
-        load_baseline,
         render_sarif,
         write_baseline,
     )
@@ -275,7 +286,7 @@ def _cmd_perf_lint(args: argparse.Namespace) -> int:
         return EXIT_CLEAN
     if args.baseline:
         try:
-            accepted = load_baseline(args.baseline)
+            accepted = _load_accepted("specperf", args.baseline)
         except (OSError, ValueError) as exc:
             print(f"specperf: cannot read baseline: {exc}", file=sys.stderr)
             return EXIT_USAGE
@@ -319,6 +330,231 @@ def _cmd_perf_lint(args: argparse.Namespace) -> int:
     if diagnostics or confirmed:
         return EXIT_FINDINGS
     return EXIT_CLEAN
+
+
+def _load_accepted(tool: str, path: str) -> frozenset[str]:
+    """Accepted fingerprints for ``tool`` from either baseline schema.
+
+    Consolidated v2 documents are keyed by tool; legacy v1 files hold
+    one tool's flat set.  Sniffing the version here lets every gate
+    point at ``.speclint/baselines.json`` after migration while old
+    per-tool files keep working.
+    """
+    import json
+
+    from repro.analysis import load_baseline
+    from repro.analysis.baselines import SCHEMA_VERSION, load_baselines
+
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("version") == SCHEMA_VERSION:
+        return load_baselines(path).get(tool, frozenset())
+    return load_baseline(path)
+
+
+def _cmd_taint(args: argparse.Namespace) -> int:
+    from repro.analysis import apply_baseline, render_sarif
+    from repro.analysis.baselines import set_baseline
+    from repro.analysis.diagnostics import SPT_RULES
+    from repro.analysis.reporting import (
+        render_diag_json,
+        render_diag_text,
+        rule_catalogue_entries,
+    )
+    from repro.analysis.sarif import fingerprint
+    from repro.analysis.taint import analyze_paths, check_taint
+
+    paths = args.paths or ["src"]
+    try:
+        diagnostics = analyze_paths(paths, select=args.select)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
+    if args.write_baseline:
+        prints = frozenset(fingerprint(d) for d in diagnostics)
+        set_baseline("spectaint", prints, args.write_baseline)
+        print(
+            f"spectaint: baseline with {len(prints)} fingerprint(s) written "
+            f"to {args.write_baseline} (tool key: spectaint)"
+        )
+        return EXIT_CLEAN
+    if args.baseline:
+        try:
+            accepted = _load_accepted("spectaint", args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"spectaint: cannot read baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        diagnostics = apply_baseline(diagnostics, accepted)
+    if args.format == "sarif":
+        print(
+            render_sarif(
+                diagnostics,
+                tool_name="spectaint",
+                rules=rule_catalogue_entries(SPT_RULES),
+            ),
+            end="",
+        )
+    elif args.format == "json":
+        catalogue = {code: info.summary for code, info in SPT_RULES.items()}
+        print(render_diag_json(diagnostics, "spectaint", catalogue))
+    else:
+        print(render_diag_text(diagnostics, "spectaint"))
+    confirmed = 0
+    if args.trace:
+        from repro.analysis.taint import CONFIRMED, find_escapes
+        from repro.trace import EventLog
+
+        try:
+            log = EventLog.load(args.trace)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"spectaint: cannot read trace: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        witnesses = find_escapes(log)
+        verdicts = check_taint(diagnostics, log)
+        out = sys.stdout if args.format == "text" else sys.stderr
+        print(
+            f"trace replay: {len(log)} event(s), "
+            f"{len(witnesses)} escape witness(es)",
+            file=out,
+        )
+        for verdict in verdicts:
+            print(verdict.format_text(), file=out)
+        if not verdicts:
+            print(
+                "trace replay: no static SPT findings to cross-reference",
+                file=out,
+            )
+        confirmed = sum(1 for v in verdicts if v.status == CONFIRMED)
+    if diagnostics or confirmed:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: all four analysis families over one parse."""
+    from repro.analysis import apply_baseline
+    from repro.analysis.baselines import (
+        DEFAULT_BASELINES,
+        baseline_for,
+        migrate_baselines,
+    )
+    from repro.analysis.diagnostics import (
+        RULES,
+        SPF_RULES,
+        SPP_RULES,
+        SPT_RULES,
+    )
+    from repro.analysis.linter import drop_suppressed, lint_module
+    from repro.analysis.perf import specperf
+    from repro.analysis.program import ProgramIndex
+    from repro.analysis.reporting import (
+        SARIF_SCHEMA,
+        SARIF_VERSION,
+        render_diag_text,
+        rule_catalogue_entries,
+        sarif_document,
+        stable_json,
+    )
+    from repro.analysis.sarif import _result
+    from repro.analysis import specflow
+    from repro.analysis.taint import spectaint
+
+    if args.migrate_baselines:
+        target = args.baselines or str(DEFAULT_BASELINES)
+        for action in migrate_baselines(target):
+            print(action)
+        return EXIT_CLEAN
+
+    paths = args.paths or ["src"]
+    try:
+        index = ProgramIndex(paths)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
+
+    sources = index.sources
+    speclint_diags = drop_suppressed(
+        [
+            d
+            for m in index.modules
+            for d in lint_module(m.tree, m.path, m.source)
+        ],
+        sources,
+    ) + index.syntax_diags("SPL000")
+    per_tool = {
+        "speclint": sorted(speclint_diags),
+        "specflow": sorted(
+            specflow.analyze_modules(index.modules, callgraph=index.callgraph)
+            + index.syntax_diags("SPF000")
+        ),
+        "specperf": sorted(
+            specperf.analyze_modules(index.modules, callgraph=index.callgraph)
+            + index.syntax_diags("SPP000")
+        ),
+        "spectaint": sorted(
+            spectaint.analyze_modules(index.modules, callgraph=index.callgraph)
+            + index.syntax_diags("SPT000")
+        ),
+    }
+
+    baselines_path = args.baselines or (
+        str(DEFAULT_BASELINES) if DEFAULT_BASELINES.exists() else None
+    )
+    if baselines_path is not None:
+        try:
+            for tool in per_tool:
+                per_tool[tool] = apply_baseline(
+                    per_tool[tool], baseline_for(tool, baselines_path)
+                )
+        except (OSError, ValueError) as exc:
+            print(f"repro check: cannot read baselines: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    catalogues = {
+        "speclint": rule_catalogue_entries(RULES),
+        "specflow": rule_catalogue_entries(SPF_RULES),
+        "specperf": rule_catalogue_entries(SPP_RULES),
+        "spectaint": rule_catalogue_entries(SPT_RULES),
+    }
+    if args.sarif:
+        merged: dict[str, object] = {
+            "$schema": SARIF_SCHEMA,
+            "version": SARIF_VERSION,
+            "runs": [
+                sarif_document(
+                    tool,
+                    catalogues[tool],
+                    [_result(d) for d in per_tool[tool]],
+                )["runs"][0]
+                for tool in sorted(per_tool)
+            ],
+        }
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            fh.write(stable_json(merged))
+        print(f"repro check: merged SARIF written to {args.sarif}")
+
+    total = 0
+    if args.format == "json":
+        payload = {
+            "tools": {
+                tool: [d.to_dict() for d in diags]
+                for tool, diags in sorted(per_tool.items())
+            },
+            "summary": {
+                tool: len(diags) for tool, diags in sorted(per_tool.items())
+            },
+        }
+        print(stable_json(payload), end="")
+        total = sum(len(d) for d in per_tool.values())
+    else:
+        for tool in sorted(per_tool):
+            print(render_diag_text(per_tool[tool], tool))
+            total += len(per_tool[tool])
+        print(
+            f"repro check: {total} finding(s) across "
+            f"{len(per_tool)} tool(s), {len(index.modules)} file(s) parsed once"
+        )
+    return EXIT_FINDINGS if total else EXIT_CLEAN
 
 
 def _parse_int_list(spec: str, name: str) -> list:
@@ -614,6 +850,80 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0.05)",
     )
     p_pl.set_defaults(func=_cmd_perf_lint)
+
+    p_tn = sub.add_parser(
+        "taint",
+        help="run spectaint (speculation-escape & rollback-safety "
+        "abstract interpretation, rules SPT3xx)",
+    )
+    p_tn.add_argument(
+        "paths", nargs="*", help="files/directories to analyse (default: src)"
+    )
+    p_tn.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format",
+    )
+    p_tn.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="only run the given rule (repeatable), e.g. --select SPT301",
+    )
+    p_tn.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings whose fingerprints this baseline accepts "
+        "(accepts the consolidated baselines.json or a legacy v1 file)",
+    )
+    p_tn.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings under the `spectaint` key of "
+        "the consolidated baseline file and exit 0",
+    )
+    p_tn.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="replay a recorded event log (JSONL): mark each finding "
+        "CONFIRMED (a send ran during an open speculation window), "
+        "REFUTED or UNOBSERVED",
+    )
+    p_tn.set_defaults(func=_cmd_taint)
+
+    p_ck = sub.add_parser(
+        "check",
+        help="run every analysis family (speclint+specflow+specperf+"
+        "spectaint) over one shared parse",
+    )
+    p_ck.add_argument(
+        "paths", nargs="*", help="files/directories to analyse (default: src)"
+    )
+    p_ck.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    p_ck.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="write one merged SARIF document (one run per tool) to FILE",
+    )
+    p_ck.add_argument(
+        "--baselines",
+        metavar="FILE",
+        help="consolidated baseline file (default: .speclint/baselines.json "
+        "when present)",
+    )
+    p_ck.add_argument(
+        "--migrate-baselines",
+        action="store_true",
+        help="one-shot: merge the legacy per-tool baseline files into the "
+        "consolidated schema-versioned document, then exit",
+    )
+    p_ck.set_defaults(func=_cmd_check)
 
     p_mc = sub.add_parser(
         "mc",

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, FrozenSet, Generator, Optional, Sequence, Tuple
 
+from repro.analysis.taint.annotations import commits
 from repro.core.program import Block, SyncIterativeProgram
 from repro.core.results import SpecStats
 from repro.engine.events import (
@@ -208,6 +209,11 @@ class SpecEngine:
         return gate(self, t)
 
     # ---------------------------------------------------------- bookkeeping
+    # @commits: the block stored here is the *actual* arrival from the
+    # transport, never a speculation — storing it into the history ring
+    # and advancing the verified horizon is the protocol's confirmation
+    # step itself, so spectaint treats values entering here as committed.
+    @commits
     def record_arrival(self, k: int, t: int, block: Block) -> None:
         """Store an actual block and advance the verified horizon."""
         expected = len(self.needed)

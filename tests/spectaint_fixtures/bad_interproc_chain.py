@@ -1,0 +1,21 @@
+"""Fixture: interprocedural escape through two calls.
+
+Neither ``relay`` nor ``emit`` speculates, and ``produce`` never
+touches I/O — only the whole chain is broken: the speculation made in
+``produce`` flows through ``relay``'s parameter into ``emit``'s
+parameter, which prints it.  Catching this requires the call-graph
+summaries, not any single-function view.
+"""
+
+
+def emit(value):
+    print(value)        # sink: tainted only via callers
+
+
+def relay(value):
+    emit(value)         # forwards its parameter to the sink
+
+
+def produce(history):
+    guess = speculate(history)
+    relay(guess)        # SPT301: escape through a two-call chain

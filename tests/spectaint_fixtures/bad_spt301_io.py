@@ -1,0 +1,13 @@
+"""Fixture: SPT301 — an unconfirmed speculation reaches I/O.
+
+The predicted block is printed and written to a results file before
+the actual value ever arrives; if the speculation is later rejected,
+the emitted bytes cannot be recalled.
+"""
+
+
+def report_step(history, fh):
+    guess = speculate(history)
+    print(guess)     # SPT301: stdout is irreversible
+    fh.write(guess)  # SPT301: file write is irreversible
+    return guess

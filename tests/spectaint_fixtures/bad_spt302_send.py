@@ -1,0 +1,11 @@
+"""Fixture: SPT302 — an unconfirmed speculation is sent to a peer.
+
+The predicted block travels to another rank with no rollback seat;
+the receiver folds it into its own state as if it were confirmed.
+"""
+
+
+def exchange(transport, history):
+    guess = predict(history)
+    transport.send(1, guess)     # SPT302: payload is unconfirmed
+    transport.broadcast(guess)   # SPT302: broadcast fan-out is worse

@@ -1,0 +1,13 @@
+"""Fixture: SPT303 — a speculation is stored past the backward window.
+
+The predicted block lands in an object attribute that nothing in this
+module ever pops, deletes or clears: when the backward window slides
+past, there is no ledger entry left to roll the value back from.
+"""
+
+
+class Cache:
+    def remember(self, history):
+        guess = extrapolate(history)
+        self.last_guess = guess        # SPT303: attribute never reclaimed
+        self.all_guesses.append(guess)  # SPT303: list grows, never cleared

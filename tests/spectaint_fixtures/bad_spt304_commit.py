@@ -1,0 +1,15 @@
+"""Fixture: SPT304 — an unsanitized commit of speculative state.
+
+``commit`` is not a declared commit point (no ``@commits``), and no
+check/verify of the guess exists on any path, before or after — the
+speculation is adopted wholesale.
+"""
+
+
+def commit(block):
+    return block
+
+
+def adopt(history):
+    guess = speculate(history)
+    commit(guess)   # SPT304: undeclared commit, never confirmed

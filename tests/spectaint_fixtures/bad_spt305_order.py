@@ -1,0 +1,15 @@
+"""Fixture: SPT305 — commit and confirm in the wrong order.
+
+The code *does* verify the speculation — but only after the commit
+has already run.  The operations exist, their order is the bug.
+"""
+
+
+def commit(block):
+    return block
+
+
+def adopt_then_check(history, actual):
+    guess = speculate(history)
+    commit(guess)          # SPT305: commit precedes its confirmation
+    check(guess, actual)

@@ -1,0 +1,13 @@
+"""Fixture: SPT306 — a speculation leaks through an exception.
+
+The raise carries the predicted block out of the frame; whatever
+handler catches it sits outside the rollback machinery and cannot
+undo the speculation it now holds.
+"""
+
+
+def validate(history, limit):
+    guess = speculate(history)
+    if magnitude(guess) > limit:
+        raise ValueError(guess)   # SPT306: exception carries the spec
+    return guess

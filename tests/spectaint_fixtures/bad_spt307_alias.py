@@ -1,0 +1,13 @@
+"""Fixture: SPT307 — a speculation escapes through an alias.
+
+``out`` (and its local alias ``sink``) belong to the caller; writing
+the predicted block through them mutates state that outlives this
+frame's rollback scope.
+"""
+
+
+def fill(out, history):
+    guess = speculate(history)
+    out.append(guess)    # SPT307: caller-owned list mutated
+    sink = out
+    sink[0] = guess      # SPT307: same object through a local alias

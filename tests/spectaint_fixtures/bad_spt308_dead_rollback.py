@@ -1,0 +1,15 @@
+"""Fixture: SPT308 — the rollback handler is dead code.
+
+A recovery routine exists, but nothing ever calls it: every rejected
+speculation has no path back, so each one is effectively a commit.
+"""
+
+
+def rollback(state, checkpoint):
+    state.restore(checkpoint)
+    return state
+
+
+def step(state, history):
+    guess = speculate(history)
+    return compute(state, guess)

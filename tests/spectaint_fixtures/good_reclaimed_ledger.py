@@ -1,0 +1,18 @@
+"""Fixture (clean): a reclaimed speculation ledger is not an escape.
+
+Storing the guess into ``self.pending`` is exactly how a rollback
+ledger works — and because this module also *pops* that attribute on
+arrival, the store does not outlive the backward window (no SPT303).
+"""
+
+
+class Ledger:
+    def speculate_input(self, key, history):
+        guess = speculate(history)
+        self.pending[key] = guess       # clean: reclaimed below
+        return guess
+
+    def on_arrival(self, key, actual):
+        guess = self.pending.pop(key, None)
+        if guess is not None:
+            check(guess, actual)

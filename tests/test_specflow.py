@@ -426,8 +426,10 @@ def test_baseline_roundtrip(tmp_path):
 
 
 def test_checked_in_baseline_covers_src():
-    baseline = REPO_ROOT / ".speclint" / "specflow-baseline.json"
-    accepted = load_baseline(baseline)
+    from repro.analysis.baselines import baseline_for
+
+    baseline = REPO_ROOT / ".speclint" / "baselines.json"
+    accepted = baseline_for("specflow", baseline)
     diags = analyze_paths([str(REPO_ROOT / "src")])
     assert apply_baseline(diags, accepted) == []
 

@@ -220,6 +220,38 @@ def test_disable_all_wildcard_suppresses_everything():
     assert lint_source(src) == []
 
 
+def test_multi_tool_directive_suppresses_every_named_id():
+    # One line may carry several families' directives, and every
+    # spelling accepts every family's codes — a single unified parse
+    # (shared by all four tools) must honour the union of them.
+    src = (
+        "x = 1  # speclint: disable=SPL001  # spectaint: disable=SPT301\n"
+        "y = 2  # specflow: disable=SPF201, SPP203, SPL004\n"
+    )
+    per_line, file_wide = collect_suppressions(src)
+    assert per_line[1] == {"SPL001", "SPT301"}
+    assert per_line[2] == {"SPF201", "SPP203", "SPL004"}
+    assert file_wide == set()
+
+
+def test_multi_tool_suppression_silences_findings_in_each_family():
+    from repro.analysis import specflow
+    from repro.analysis.taint import spectaint
+
+    src = (
+        "def step(history, transport):\n"
+        "    guess = speculate(history)\n"
+        "    transport.send(1, guess)"
+        "  # specflow: disable=SPF101, SPT302\n"
+    )
+    assert specflow.analyze_source(src, path="<t>") == []
+    assert spectaint.analyze_source(src, path="<t>") == []
+    # Without the directive both families fire on that line.
+    bare = src.replace("  # specflow: disable=SPF101, SPT302", "")
+    assert codes(specflow.analyze_source(bare, path="<t>")) == ["SPF101"]
+    assert codes(spectaint.analyze_source(bare, path="<t>")) == ["SPT302"]
+
+
 def test_select_restricts_rules():
     path = FIXTURES / "bad_spl001_unawaited.py"
     source = path.read_text()

@@ -1,0 +1,545 @@
+"""Tests for spectaint: the taint lattice, the SPT rule pack,
+commit-point annotations, trace-replay verdicts, consolidated
+baselines and the ``repro taint`` / ``repro check`` CLIs."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import cfg
+from repro.analysis.baselines import (
+    SCHEMA_VERSION,
+    baseline_for,
+    legacy_baseline_path,
+    load_baselines,
+    migrate_baselines,
+    save_baselines,
+    set_baseline,
+)
+from repro.analysis.cfg import CallGraph, ModuleGraphs
+from repro.analysis.diagnostics import SPT_RULES, Severity, all_spt_codes
+from repro.analysis.linter import parse_suppressions
+from repro.analysis.program import ProgramIndex
+from repro.analysis.sarif import fingerprint
+from repro.analysis.taint import (
+    CONFIRMED,
+    REFUTED,
+    UNOBSERVED,
+    analyze_modules,
+    analyze_paths,
+    analyze_source,
+    check_taint,
+    commit_lines_of,
+    commits,
+    compute_taint_summaries,
+    declared_commit_points,
+    find_escapes,
+    is_commit_point,
+    rule_catalogue,
+    unconfirmed,
+)
+from repro.analysis.taint.lattice import COMMITTED, SPEC
+from repro.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+from repro.trace.events import EventLog
+
+FIXTURES = Path(__file__).parent / "spectaint_fixtures"
+SRC = Path(__file__).parent.parent / "src"
+
+ALL_CODES = [f"SPT30{i}" for i in range(1, 9)]
+
+
+def _codes_of(path):
+    return [d.code for d in analyze_paths([path])]
+
+
+def _modules(*sources):
+    return [
+        ModuleGraphs.from_source(src, path=f"<m{i}>")
+        for i, src in enumerate(sources)
+    ]
+
+
+# --------------------------------------------------------------- registry
+
+
+def test_all_spt_rules_registered():
+    assert all_spt_codes() == ALL_CODES
+    assert set(rule_catalogue()) == set(ALL_CODES)
+    for code in ALL_CODES:
+        expected = Severity.WARNING if code == "SPT308" else Severity.ERROR
+        assert SPT_RULES[code].severity is expected
+
+
+# ---------------------------------------------------------------- lattice
+
+
+def test_unconfirmed_is_spec_without_committed():
+    assert unconfirmed(frozenset({SPEC}))
+    assert not unconfirmed(frozenset({SPEC, COMMITTED}))
+    assert not unconfirmed(frozenset())
+
+
+def test_commit_lines_of_finds_directive():
+    source = "x = 1\ny = guess  # spectaint: commit — justified\nz = 2\n"
+    assert commit_lines_of(source) == frozenset({2})
+
+
+def test_declared_commit_points_finds_decorator():
+    modules = _modules(
+        "def commits(f):\n    return f\n\n"
+        "@commits\ndef adopt(store, v):\n    store.x = v\n"
+    )
+    assert ("<m0>", "adopt") in declared_commit_points(modules)
+
+
+def test_commits_decorator_marks_function():
+    @commits
+    def adopt(value):
+        return value
+
+    assert is_commit_point(adopt)
+    assert adopt(3) == 3  # the wrapper is the function itself
+
+    def plain(value):
+        return value
+
+    assert not is_commit_point(plain)
+
+
+def test_summaries_propagate_returns_and_sinks():
+    modules = _modules(
+        "def emit(value):\n    print(value)\n\n"
+        "def relay(value):\n    emit(value)\n\n"
+        "def make(history):\n    return speculate(history)\n"
+    )
+    summaries = compute_taint_summaries(CallGraph(modules), frozenset(), {})
+    assert summaries[("<m0>", "make")].returns_spec
+    assert summaries[("<m0>", "emit")].sink_params == {0: "SPT301"}
+    # The sink taints relay's parameter transitively.
+    assert summaries[("<m0>", "relay")].sink_params == {0: "SPT301"}
+
+
+# --------------------------------------------------------------- fixtures
+
+
+@pytest.mark.parametrize(
+    "name, code, count",
+    [
+        ("bad_spt301_io.py", "SPT301", 2),
+        ("bad_spt302_send.py", "SPT302", 2),
+        ("bad_spt303_store.py", "SPT303", 2),
+        ("bad_spt304_commit.py", "SPT304", 1),
+        ("bad_spt305_order.py", "SPT305", 1),
+        ("bad_spt306_raise.py", "SPT306", 1),
+        ("bad_spt307_alias.py", "SPT307", 2),
+        ("bad_spt308_dead_rollback.py", "SPT308", 1),
+    ],
+)
+def test_each_bad_fixture_fires_only_its_rule(name, code, count):
+    codes = _codes_of(FIXTURES / name)
+    assert codes == [code] * count
+
+
+def test_interprocedural_escape_through_two_calls():
+    diags = analyze_paths([FIXTURES / "bad_interproc_chain.py"])
+    assert [d.code for d in diags] == ["SPT301"]
+    # The finding lands on the call in `produce`, where the taint enters
+    # the chain — not inside `emit`, which is clean in isolation.
+    assert diags[0].line == 21
+    assert "relay" in diags[0].message
+
+
+def test_aliasing_fixture_catches_both_mutations():
+    diags = analyze_paths([FIXTURES / "bad_spt307_alias.py"])
+    lines = sorted(d.line for d in diags)
+    assert len(lines) == 2 and lines[0] != lines[1]
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["good_commit_point.py", "good_confirmed.py", "good_reclaimed_ledger.py"],
+)
+def test_good_fixtures_are_clean(name):
+    assert _codes_of(FIXTURES / name) == []
+
+
+def test_whole_fixture_dir_fires_every_rule():
+    codes = {d.code for d in analyze_paths([FIXTURES])}
+    assert codes == set(ALL_CODES)
+
+
+def test_select_restricts_rules():
+    diags = analyze_paths([FIXTURES], select=["SPT302"])
+    assert {d.code for d in diags} == {"SPT302"}
+
+
+def test_commit_line_directive_sanctions_a_sink():
+    clean = (
+        "def step(history):\n"
+        "    guess = speculate(history)\n"
+        "    print(guess)  # spectaint: commit — confirmed upstream\n"
+    )
+    assert analyze_source(clean, path="<t>") == []
+    dirty = clean.replace("  # spectaint: commit — confirmed upstream", "")
+    assert [d.code for d in analyze_source(dirty, path="<t>")] == ["SPT301"]
+
+
+def test_suppression_directive_silences_a_finding():
+    source = (
+        "def step(history):\n"
+        "    guess = speculate(history)\n"
+        "    print(guess)  # spectaint: disable=SPT301\n"
+    )
+    assert analyze_source(source, path="<t>") == []
+
+
+def test_syntax_error_yields_spt000():
+    diags = analyze_source("def broken(:\n", path="<t>")
+    assert [d.code for d in diags] == ["SPT000"]
+
+
+def test_src_tree_is_clean():
+    assert analyze_paths([SRC]) == []
+
+
+def test_analysis_is_deterministic_over_fixtures():
+    first = analyze_paths([FIXTURES])
+    second = analyze_paths([FIXTURES])
+    assert first == second
+
+
+# ----------------------------------------------------- multi-tool parsing
+
+
+def test_suppression_parser_accepts_all_four_spellings():
+    source = (
+        "a = 1  # speclint: disable=SPL101\n"
+        "b = 2  # specflow: disable=SPF201\n"
+        "c = 3  # specperf: disable=SPP203\n"
+        "d = 4  # spectaint: disable=SPT301\n"
+        "# specperf: disable-file=SPP204\n"
+    )
+    per_line, file_wide = parse_suppressions(source)
+    assert per_line == {
+        1: {"SPL101"},
+        2: {"SPF201"},
+        3: {"SPP203"},
+        4: {"SPT301"},
+    }
+    assert file_wide == {"SPP204"}
+
+
+def test_one_directive_suppresses_codes_across_families():
+    # One spelling may carry any family's ids: a single directive on the
+    # offending line silences both the speclint and the spectaint finding.
+    source = (
+        "def step(history):\n"
+        "    guess = speculate(history)\n"
+        "    print(guess)  # speclint: disable=SPT301, SPF202\n"
+    )
+    per_line, _ = parse_suppressions(source)
+    assert per_line == {3: {"SPT301", "SPF202"}}
+    assert analyze_source(source, path="<t>") == []
+
+
+# ---------------------------------------------------------------- verdicts
+
+
+def _escape_log():
+    log = EventLog()
+    log.record("speculate", rank=0, time=1.0, family="vars", iteration=3)
+    log.record("send", rank=0, time=2.0, peer=1, family="vars", iteration=3)
+    log.record("verify", rank=0, time=3.0, family="vars", iteration=3)
+    return log
+
+
+def _clean_log():
+    log = EventLog()
+    log.record("speculate", rank=0, time=1.0, family="vars", iteration=3)
+    log.record("verify", rank=0, time=2.0, family="vars", iteration=3)
+    log.record("send", rank=0, time=3.0, peer=1, family="vars", iteration=3)
+    return log
+
+
+def test_find_escapes_flags_send_in_open_window():
+    witnesses = find_escapes(_escape_log())
+    assert len(witnesses) == 1
+    assert witnesses[0].rank == 0 and witnesses[0].open_specs == 1
+    assert "vars@3" in witnesses[0].format_text()
+
+
+def test_find_escapes_clean_ordering_has_no_witness():
+    assert find_escapes(_clean_log()) == []
+
+
+def test_windows_are_per_rank():
+    log = EventLog()
+    log.record("speculate", rank=0, time=1.0, family="vars", iteration=1)
+    # Rank 1's send is not covered by rank 0's open window.
+    log.record("send", rank=1, time=2.0, peer=0, family="vars", iteration=1)
+    assert find_escapes(log) == []
+
+
+def test_check_taint_escape_verdicts():
+    diags = analyze_paths([FIXTURES / "bad_spt301_io.py"])
+    confirmed = check_taint(diags, _escape_log())
+    assert {v.status for v in confirmed} == {CONFIRMED}
+    assert "escape witness" in confirmed[0].detail
+
+    refuted = check_taint(diags, _clean_log())
+    assert {v.status for v in refuted} == {REFUTED}
+
+    unobserved = check_taint(diags, EventLog())
+    assert {v.status for v in unobserved} == {UNOBSERVED}
+
+
+def test_check_taint_spt308_semantics():
+    diags = analyze_paths([FIXTURES / "bad_spt308_dead_rollback.py"])
+    assert [d.code for d in diags] == ["SPT308"]
+
+    corrected = EventLog()
+    corrected.record("speculate", rank=0, time=1.0, family="vars", iteration=1)
+    corrected.record("correct", rank=0, time=2.0, family="vars", iteration=1)
+    assert [v.status for v in check_taint(diags, corrected)] == [REFUTED]
+
+    # speculate+verify but never correct: consistent with a dead handler.
+    assert [v.status for v in check_taint(diags, _clean_log())] == [CONFIRMED]
+    assert [v.status for v in check_taint(diags, EventLog())] == [UNOBSERVED]
+
+
+def test_verdict_text_and_dict_shape():
+    diags = analyze_paths([FIXTURES / "bad_spt301_io.py"])
+    verdict = check_taint(diags, _escape_log())[0]
+    assert verdict.format_text().startswith("taint-verdict SPT301 @ ")
+    assert verdict.to_dict()["status"] == CONFIRMED
+
+
+# --------------------------------------------------------------- baselines
+
+
+def test_baselines_v2_round_trip(tmp_path):
+    target = tmp_path / "baselines.json"
+    accepted = {"spectaint": frozenset({"abc123"}), "specflow": frozenset()}
+    save_baselines(accepted, target)
+    payload = json.loads(target.read_text())
+    assert payload["version"] == SCHEMA_VERSION
+    assert load_baselines(target) == accepted
+
+
+def test_load_baselines_rejects_wrong_version(tmp_path):
+    target = tmp_path / "baselines.json"
+    target.write_text('{"version": 1, "fingerprints": []}')
+    with pytest.raises(ValueError, match="version"):
+        load_baselines(target)
+
+
+def test_set_baseline_preserves_other_tools(tmp_path):
+    target = tmp_path / "baselines.json"
+    set_baseline("specflow", frozenset({"aaa"}), target)
+    set_baseline("spectaint", frozenset({"bbb"}), target)
+    assert load_baselines(target) == {
+        "specflow": frozenset({"aaa"}),
+        "spectaint": frozenset({"bbb"}),
+    }
+
+
+def test_baseline_for_falls_back_to_legacy_with_warning(tmp_path, capsys):
+    consolidated = tmp_path / "baselines.json"
+    legacy = legacy_baseline_path("spectaint", tmp_path)
+    legacy.write_text('{"fingerprints": ["fff"]}')
+    assert baseline_for("spectaint", consolidated) == frozenset({"fff"})
+    assert "deprecated" in capsys.readouterr().err
+
+
+def test_migrate_baselines_merges_and_deletes_legacy(tmp_path):
+    target = tmp_path / "baselines.json"
+    for tool, fp in (("specflow", "aaa"), ("specperf", "bbb")):
+        legacy_baseline_path(tool, tmp_path).write_text(
+            json.dumps({"fingerprints": [fp]})
+        )
+    actions = migrate_baselines(target)
+    assert len(actions) == 2
+    assert not legacy_baseline_path("specflow", tmp_path).exists()
+    assert load_baselines(target) == {
+        "specflow": frozenset({"aaa"}),
+        "specperf": frozenset({"bbb"}),
+    }
+    # Idempotent: a second run finds nothing left to move.
+    assert migrate_baselines(target) == []
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def test_cli_taint_exit_codes():
+    assert main(["taint", str(FIXTURES)]) == EXIT_FINDINGS
+    assert main(["taint", str(FIXTURES / "good_confirmed.py")]) == EXIT_CLEAN
+    assert main(["taint", "no/such/path.py"]) == EXIT_USAGE
+
+
+def test_cli_taint_json_document(capsys):
+    assert main(["taint", str(FIXTURES), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["tool"] == "spectaint"
+    assert set(ALL_CODES) <= set(doc["rules"])
+    assert doc["summary"]["total"] >= len(ALL_CODES)
+
+
+def test_cli_taint_sarif_document(capsys):
+    assert main(["taint", str(FIXTURES), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "spectaint"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(ALL_CODES)
+    for result in run["results"]:
+        assert "speclint/v1" in result["partialFingerprints"]
+
+
+def test_cli_taint_baseline_flow(tmp_path):
+    baseline = tmp_path / "baselines.json"
+    assert main(
+        ["taint", str(FIXTURES), "--write-baseline", str(baseline)]
+    ) == EXIT_CLEAN
+    # The written file is the consolidated v2 document, keyed by tool.
+    assert "spectaint" in load_baselines(baseline)
+    assert main(
+        ["taint", str(FIXTURES), "--baseline", str(baseline)]
+    ) == EXIT_CLEAN
+    assert main(
+        ["taint", str(FIXTURES), "--baseline", str(tmp_path / "none.json")]
+    ) == EXIT_USAGE
+
+
+def test_cli_taint_accepts_legacy_v1_baseline(tmp_path):
+    diags = analyze_paths([FIXTURES])
+    legacy = tmp_path / "spectaint-baseline.json"
+    legacy.write_text(
+        json.dumps({"fingerprints": sorted(fingerprint(d) for d in diags)})
+    )
+    assert main(
+        ["taint", str(FIXTURES), "--baseline", str(legacy)]
+    ) == EXIT_CLEAN
+
+
+def test_cli_taint_trace_verdicts(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    _escape_log().save(trace)
+    assert main(
+        ["taint", str(FIXTURES / "bad_spt301_io.py"), "--trace", str(trace)]
+    ) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "escape witness(es)" in out
+    assert "CONFIRMED" in out
+
+    clean = tmp_path / "clean.jsonl"
+    _clean_log().save(clean)
+    assert main(
+        ["taint", str(FIXTURES / "bad_spt301_io.py"), "--trace", str(clean)]
+    ) == EXIT_FINDINGS  # static findings still gate even when refuted
+    assert "REFUTED" in capsys.readouterr().out
+
+    # A clean tree + trace: nothing to cross-reference, exit 0.
+    assert main(
+        ["taint", str(FIXTURES / "good_confirmed.py"), "--trace", str(trace)]
+    ) == EXIT_CLEAN
+    assert "no static SPT findings" in capsys.readouterr().out
+
+    assert main(
+        ["taint", str(FIXTURES), "--trace", str(tmp_path / "nope.jsonl")]
+    ) == EXIT_USAGE
+
+
+def test_cli_check_exit_codes_match_individual_tools(capsys):
+    dirty = str(FIXTURES)
+    clean = str(FIXTURES / "good_commit_point.py")
+    assert main(["check", dirty]) == main(["taint", dirty]) == EXIT_FINDINGS
+    assert main(["check", clean]) == main(["taint", clean]) == EXIT_CLEAN
+    assert main(["check", "no/such/path.py"]) == EXIT_USAGE
+    capsys.readouterr()
+
+
+def test_cli_check_text_summary(capsys):
+    assert main(["check", str(FIXTURES / "good_commit_point.py")]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "repro check:" in out
+    assert "1 file(s) parsed once" in out
+
+
+def test_cli_check_merged_sarif_has_one_run_per_tool(tmp_path, capsys):
+    sarif = tmp_path / "merged.sarif"
+    assert main(["check", str(FIXTURES), "--sarif", str(sarif)]) == 1
+    capsys.readouterr()
+    doc = json.loads(sarif.read_text())
+    names = [r["tool"]["driver"]["name"] for r in doc["runs"]]
+    assert names == ["specflow", "speclint", "specperf", "spectaint"]
+    spt_run = doc["runs"][names.index("spectaint")]
+    assert {r["ruleId"] for r in spt_run["results"]} == set(ALL_CODES)
+
+
+def test_cli_check_migrate_baselines(tmp_path, capsys):
+    target = tmp_path / "baselines.json"
+    legacy_baseline_path("specflow", tmp_path).write_text(
+        json.dumps({"fingerprints": ["abc"]})
+    )
+    assert main(
+        ["check", "--migrate-baselines", "--baselines", str(target)]
+    ) == EXIT_CLEAN
+    assert "migrated" in capsys.readouterr().out
+    assert load_baselines(target)["specflow"] == frozenset({"abc"})
+
+
+def test_cli_check_applies_consolidated_baselines(tmp_path, capsys):
+    # Accept every spectaint AND specflow finding in the fixtures
+    # (specflow rightly flags the speculate-then-send mutants too);
+    # the fully-gated run then exits 0.
+    from repro.analysis import specflow
+
+    target = tmp_path / "baselines.json"
+    set_baseline(
+        "spectaint",
+        frozenset(fingerprint(d) for d in analyze_paths([FIXTURES])),
+        target,
+    )
+    set_baseline(
+        "specflow",
+        frozenset(fingerprint(d) for d in specflow.analyze_paths([FIXTURES])),
+        target,
+    )
+    assert main(
+        ["check", str(FIXTURES), "--baselines", str(target)]
+    ) == EXIT_CLEAN
+    capsys.readouterr()
+
+
+# ------------------------------------------------------------- parse once
+
+
+def test_check_parses_each_file_exactly_once(monkeypatch, capsys):
+    parsed = []
+    original = ModuleGraphs.from_source.__func__
+
+    def counting(cls, source, path="<string>"):
+        parsed.append(path)
+        return original(cls, source, path=path)
+
+    monkeypatch.setattr(cfg.ModuleGraphs, "from_source", classmethod(counting))
+    assert main(["check", str(FIXTURES)]) == EXIT_FINDINGS
+    capsys.readouterr()
+    files = sorted(str(p) for p in FIXTURES.glob("*.py"))
+    assert sorted(parsed) == files  # each file parsed exactly once
+    assert len(parsed) == len(set(parsed))
+
+
+def test_program_index_shares_one_callgraph():
+    index = ProgramIndex([FIXTURES])
+    assert index.callgraph is index.callgraph
+    assert {Path(m.path).name for m in index.modules} == {
+        p.name for p in FIXTURES.glob("*.py")
+    }
+
+
+def test_analyze_modules_reuses_a_provided_callgraph():
+    index = ProgramIndex([FIXTURES / "bad_interproc_chain.py"])
+    diags = analyze_modules(index.modules, callgraph=index.callgraph)
+    assert [d.code for d in diags] == ["SPT301"]
