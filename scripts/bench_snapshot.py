@@ -1,15 +1,14 @@
-"""Benchmark snapshot: fig8 speedup sweep + table2 phase times as JSON.
+"""Benchmark snapshot: fig8 sweep + table2 phases + adaptive-vs-fixed.
 
-Runs the two headline measured experiments and writes a
-machine-readable snapshot to ``BENCH_PR6.json`` at the repo root, so
-successive PRs can diff the performance trajectory instead of
-eyeballing tables.
+Runs the headline measured experiments and writes a machine-readable
+snapshot to ``BENCH_PR8.json`` at the repo root, so successive PRs can
+diff the performance trajectory instead of eyeballing tables.
 
-Schema (``BENCH_PR6.json``)::
+Schema (``BENCH_PR8.json``)::
 
     {
       "schema": "bench-snapshot/v1",
-      "label": "PR6",                  # --label
+      "label": "PR8",                  # --label
       "quick": false,                  # --quick used?
       "config": {                      # overrides applied to HEADLINE
         "n_particles": 1000, "iterations": 20, "ps": [1, 2, ...]
@@ -27,6 +26,13 @@ Schema (``BENCH_PR6.json``)::
                     "correct", "total"],
         "rows": [[0, 5.8, 4.7, 0.0, 0.0, 0.0, 10.5], ...],  # seconds
         "wall_seconds": 4.5
+      },
+      "adaptive": {                    # engine-seated AimdWindow vs the
+        "policy": {"epoch": 2, "min_fw": 0, "max_fw": 3},  # same run at
+        "headers": ["p", "fixed FW=1", "adaptive", "gain",  # fixed FW=1
+                    "final windows", "changes"],
+        "rows": [[4, 61.2, 59.8, 0.023, [1, 2, 2, 1], 5], ...],
+        "wall_seconds": 8.1
       }
     }
 
@@ -44,25 +50,72 @@ import json
 import pathlib
 import time
 
-from repro.harness.experiments import fig8_nbody_speedup, table2_phase_times
+from repro.harness.experiments import (
+    fig8_nbody_speedup,
+    run_nbody,
+    table2_phase_times,
+)
+from repro.policy import AimdWindow
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_OUT = REPO_ROOT / "BENCH_PR6.json"
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR8.json"
 
 #: Processor counts for the fig8 sweep (full vs --quick).
 FULL_PS = (1, 2, 4, 6, 8, 10, 12, 14, 16)
 QUICK_PS = (1, 2, 4)
 
+#: Processor counts for the adaptive-vs-fixed comparison (a subset of
+#: the fig8 sweep: adaptation only matters where communication does).
+FULL_ADAPTIVE_PS = (4, 8, 16)
+QUICK_ADAPTIVE_PS = (2, 4)
 
-def snapshot(quick: bool = False, label: str = "PR6") -> dict:
-    """Run both experiments and assemble the schema-v1 document."""
+#: The seated policy for the comparison column (mirrors the CLI's
+#: --adaptive defaults, with max_fw capped at 3 like the golden case).
+ADAPTIVE_POLICY = {"epoch": 2, "min_fw": 0, "max_fw": 3}
+
+
+def adaptive_vs_fixed(ps, config=None) -> dict:
+    """Fixed FW=1 vs the same run with an engine-seated AimdWindow.
+
+    Both runs share initial conditions and platform; the only delta is
+    the seated policy, so the makespan gap is the value (or cost) of
+    runtime window adaptation on the jittered calibrated testbed.
+    """
+    rows = []
+    for p in ps:
+        _, fixed = run_nbody(p, 1, config=config)
+        _, adaptive = run_nbody(
+            p, 1, config=config, window_policy=AimdWindow(**ADAPTIVE_POLICY)
+        )
+        gain = 1.0 - float(adaptive.makespan) / float(fixed.makespan)
+        changes = sum(len(h) - 1 for h in adaptive.window_history)
+        rows.append([
+            p,
+            round(float(fixed.makespan), 6),
+            round(float(adaptive.makespan), 6),
+            round(gain, 6),
+            adaptive.final_windows(),
+            changes,
+        ])
+    return {
+        "policy": dict(ADAPTIVE_POLICY),
+        "headers": ["p", "fixed FW=1", "adaptive", "gain",
+                    "final windows", "changes"],
+        "rows": rows,
+    }
+
+
+def snapshot(quick: bool = False, label: str = "PR8") -> dict:
+    """Run the experiments and assemble the schema-v1 document."""
     if quick:
         config = {"n_particles": 120, "iterations": 5}
         ps = QUICK_PS
+        adaptive_ps = QUICK_ADAPTIVE_PS
         tab2_p = 4
     else:
         config = {}
         ps = FULL_PS
+        adaptive_ps = FULL_ADAPTIVE_PS
         tab2_p = 16
 
     t0 = time.perf_counter()
@@ -72,6 +125,10 @@ def snapshot(quick: bool = False, label: str = "PR6") -> dict:
     t0 = time.perf_counter()
     tab2 = table2_phase_times(p=tab2_p, config=config or None)
     t_tab2 = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    adaptive = adaptive_vs_fixed(adaptive_ps, config=config or None)
+    t_adaptive = time.perf_counter() - t0
 
     doc = {
         "schema": "bench-snapshot/v1",
@@ -86,6 +143,10 @@ def snapshot(quick: bool = False, label: str = "PR6") -> dict:
         "table2": {
             **tab2.to_dict(),
             "wall_seconds": round(t_tab2, 3),
+        },
+        "adaptive": {
+            **adaptive,
+            "wall_seconds": round(t_adaptive, 3),
         },
     }
     return doc
@@ -102,8 +163,8 @@ def main(argv=None) -> int:
         help="shrunk sweep (120 particles, 5 iterations, p <= 4) for CI smoke",
     )
     parser.add_argument(
-        "--label", default="PR6",
-        help="snapshot label recorded in the document (default: PR6)",
+        "--label", default="PR8",
+        help="snapshot label recorded in the document (default: PR8)",
     )
     args = parser.parse_args(argv)
 
@@ -112,9 +173,11 @@ def main(argv=None) -> int:
 
     fig8_wall = doc["fig8"]["wall_seconds"]
     tab2_wall = doc["table2"]["wall_seconds"]
+    adaptive_wall = doc["adaptive"]["wall_seconds"]
     print(
         f"bench_snapshot: wrote {args.out} "
-        f"(fig8 {fig8_wall:.1f}s, table2 {tab2_wall:.1f}s"
+        f"(fig8 {fig8_wall:.1f}s, table2 {tab2_wall:.1f}s, "
+        f"adaptive {adaptive_wall:.1f}s"
         f"{', quick' if args.quick else ''})"
     )
     return 0

@@ -52,6 +52,25 @@ def nbody_case(fw: int) -> dict:
     return summarize(res)
 
 
+def nbody_adaptive_case() -> dict:
+    """p=4 jittered DES adaptive run: the per-rank WindowChanged
+    trajectory is pure virtual-time arithmetic, hence bit-stable."""
+    from repro.policy import AimdWindow
+
+    _, res = run_nbody(
+        4, 1,
+        config={"n_particles": 120, "iterations": 12},
+        window_policy=AimdWindow(epoch=2, min_fw=0, max_fw=3),
+    )
+    doc = summarize(res)
+    doc["window_history"] = [
+        [[int(t), int(fw)] for t, fw in history]
+        for history in res.window_history
+    ]
+    doc["final_windows"] = res.final_windows()
+    return doc
+
+
 def summarize(res) -> dict:
     return {
         "makespan": repr(float(res.makespan)),
@@ -88,6 +107,7 @@ def capture() -> Dict[str, Any]:
         "nbody_fw0": nbody_case(0),
         "nbody_fw1": nbody_case(1),
         "nbody_fw2": nbody_case(2),
+        "nbody_adaptive": nbody_adaptive_case(),
     }
 
 

@@ -36,6 +36,7 @@ __all__ = [
     "SEQUENCE_GAP_FREEDOM",
     "DEADLOCK_FREEDOM",
     "HISTORY_RING_BOUND",
+    "WINDOW_POLICY_BOUND",
     "invariant_ids",
     "sanitizer_invariant_ids",
     "specmc_invariant_ids",
@@ -184,6 +185,19 @@ HISTORY_RING_BOUND = _register(
     "state - the backward window is genuinely bounded memory.",
     "safety",
     (SEAT_SPECMC,),
+)
+
+
+WINDOW_POLICY_BOUND = _register(
+    "window-policy-bound",
+    "Adaptive windows stay within policy bounds and gate the present",
+    "Every WindowChanged announced by a seated window policy lands "
+    "within the policy's [min_fw, max_fw], and the forward-window "
+    "gates (ComputeBegin.fw) always reflect the *current* window, "
+    "never the constructor's: adaptation may move the window, but it "
+    "can neither escape its bounds nor leave a stale gate behind.",
+    "safety",
+    (SEAT_SANITIZER, SEAT_SPECMC),
 )
 
 

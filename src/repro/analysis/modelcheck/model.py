@@ -53,6 +53,7 @@ from repro.engine.events import (
     Speculated,
     TryRecv,
     Verified,
+    WindowChanged,
 )
 from repro.engine.ring import OutOfOrderArrival
 
@@ -164,6 +165,13 @@ MUTATIONS: Dict[str, Mutation] = {
             "pass it and the final drain hangs",
             "deadlock-freedom",
         ),
+        Mutation(
+            "runaway-window",
+            "the seated window policy widens unconditionally and "
+            "ignores its own max_fw, so the engine's FW escapes the "
+            "declared [min_fw, max_fw] bounds within two iterations",
+            "window-policy-bound",
+        ),
     )
 }
 
@@ -199,6 +207,31 @@ def _ungated_horizon(engine: SpecEngine, t: int) -> int:
 
 def _ungated_window_ok(engine: SpecEngine, t: int) -> bool:
     return True
+
+
+class _RunawayWindow:
+    """``runaway-window``: widens every iteration, past its own bound."""
+
+    min_fw = 0
+    max_fw = 2
+
+    def spawn(self) -> "_RunawayWindow":
+        return _RunawayWindow()
+
+    def on_iteration(
+        self,
+        t: int,
+        *,
+        fw: int,
+        epoch_wait: float,
+        checks: int,
+        rejects: int,
+        now: float,
+    ) -> int:
+        return fw + 1
+
+    def state(self) -> Tuple[float, ...]:
+        return ()
 
 
 # --------------------------------------------------------------------------
@@ -287,6 +320,11 @@ class Execution:
         self._check_delivery_seq = name not in ("no-seq-floor", "drop-message")
         self._reorder = name == "no-seq-floor"
         self._drop = name == "drop-message"
+        policy = (
+            _RunawayWindow()
+            if name == "runaway-window"
+            else config.window_policy()
+        )
 
         self.engines: Dict[int, SpecEngine] = {
             rank: engine_cls(
@@ -297,6 +335,7 @@ class Execution:
                 fw=config.fw,
                 cascade=config.cascade,
                 hist_cap=config.hist_cap,
+                policy=policy,
                 **gate_kwargs,
             )
             for rank in range(config.p)
@@ -414,9 +453,17 @@ class Execution:
             except ProtocolViolation as exc:
                 self._violate(exc.invariant, exc.details, rank=action.rank)
                 return
+        # A delivery resuming a blocking Recv counts one model step of
+        # wait — the deterministic analogue of blocked-in-select time,
+        # which is what makes window-widening decisions reachable for a
+        # seated policy (harmless otherwise: epoch_wait is unread).
+        waited = 1.0 if isinstance(effect, Recv) else 0.0
         self._advance(
             action.rank,
-            Arrival(src=action.src, iteration=iteration, payload=payload),
+            Arrival(
+                src=action.src, iteration=iteration, payload=payload,
+                waited=waited,
+            ),
         )
         self._check_state()
 
@@ -522,7 +569,19 @@ class Execution:
         elif kind is CascadeEnd:
             san.on_cascade_end(rank)
         elif kind is IterationDone:
-            pass  # host hook; the model has no adaptive controller
+            # Clock response stays None: the engine falls back to its
+            # deterministic iteration clock, so seated policies see
+            # bit-identical time on every schedule.
+            pass
+        elif kind is WindowChanged:
+            san.on_window_changed(
+                rank, effect.iteration, effect.old_fw, effect.new_fw,
+                effect.min_fw, effect.max_fw,
+            )
+            self._record(
+                "window", rank, peer=effect.new_fw,
+                iteration=effect.iteration,
+            )
 
     # ------------------------------------------------------------ checking
     def _violate(
@@ -537,10 +596,23 @@ class Execution:
         )
 
     def _check_state(self) -> None:
-        """specmc-only state predicates (``history-ring-bound``)."""
+        """specmc-only state predicates (``history-ring-bound``,
+        ``window-policy-bound``)."""
         if self.violation is not None:
             return
         for rank, engine in self.engines.items():
+            policy = engine.policy
+            if policy is not None and not (
+                policy.min_fw <= engine.fw <= policy.max_fw
+            ):
+                self._violate(
+                    "window-policy-bound",
+                    f"rank {rank}: engine FW {engine.fw} escaped the "
+                    f"seated policy's bounds "
+                    f"[{policy.min_fw}, {policy.max_fw}]",
+                    rank=rank,
+                )
+                return
             for k, ring in engine.history.items():
                 times, _values = ring.series()
                 if len(times) > ring.capacity:
@@ -604,6 +676,11 @@ class Execution:
                 put("missing", t, eng.missing[t])
             for dst in sorted(eng._send_seq):
                 put("seq", dst, eng._send_seq[dst])
+            if eng.policy is not None:
+                # With a seated policy the adaptation signals *do* feed
+                # back into protocol decisions, so they join the state.
+                put("policy", eng.epoch_wait, eng.stats.checks,
+                    eng.stats.spec_rejected, eng.policy.state())
             for k in sorted(eng.history):
                 times, values = eng.history[k].series()
                 put("hist", k, tuple(times),

@@ -23,9 +23,10 @@ exact.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from repro.core.program import SyncIterativeProgram
+from repro.policy import AimdWindow, WindowPolicy
 
 #: Hard bounds on the checkable configuration space (ISSUE 4 / the
 #: docs' state-space model).  Beyond these the explicit-state search
@@ -37,6 +38,7 @@ MAX_ITERS = 4
 
 SCENARIOS = ("drift", "constant")
 CASCADES = ("recompute", "none")
+WINDOWS = ("static", "aimd")
 
 
 @dataclass(frozen=True)
@@ -45,8 +47,11 @@ class McConfig:
 
     Attributes mirror the protocol knobs: ``p`` engines, forward
     window ``fw``, backward window ``bw`` (the HistoryRing capacity is
-    ``bw + 2``), ``iters`` iterations, the cascade policy and the
-    scenario program.
+    ``bw + 2``), ``iters`` iterations, the cascade policy, the window
+    policy (``"static"`` keeps FW fixed; ``"aimd"`` seats a
+    one-iteration-epoch :class:`~repro.policy.AimdWindow` in every
+    engine, with the model supplying the deterministic iteration
+    clock) and the scenario program.
     """
 
     p: int = 2
@@ -55,6 +60,7 @@ class McConfig:
     iters: int = 3
     cascade: str = "recompute"
     scenario: str = "drift"
+    window: str = "static"
 
     def __post_init__(self) -> None:
         if not 2 <= self.p <= MAX_P:
@@ -71,11 +77,25 @@ class McConfig:
             raise ValueError(f"unknown cascade policy {self.cascade!r}")
         if self.scenario not in SCENARIOS:
             raise ValueError(f"unknown scenario {self.scenario!r}")
+        if self.window not in WINDOWS:
+            raise ValueError(f"unknown window policy {self.window!r}")
 
     @property
     def hist_cap(self) -> int:
         """HistoryRing capacity used for every engine."""
         return self.bw + 2
+
+    def window_policy(self) -> Optional[WindowPolicy]:
+        """The engine-seated window-policy template, if any.
+
+        ``"aimd"`` uses a one-iteration epoch with bounds ``[0, 2]``
+        (the checkable FW range), so widen/shrink decisions happen on
+        every iteration and the full window trajectory is explored
+        within ``MAX_ITERS``.
+        """
+        if self.window == "aimd":
+            return AimdWindow(epoch=1, min_fw=0, max_fw=MAX_FW)
+        return None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (inverse of ``McConfig(**d)``)."""
@@ -85,7 +105,8 @@ class McConfig:
         """One-line human description."""
         return (
             f"p={self.p} fw={self.fw} bw={self.bw} iters={self.iters} "
-            f"cascade={self.cascade} scenario={self.scenario}"
+            f"cascade={self.cascade} scenario={self.scenario} "
+            f"window={self.window}"
         )
 
 

@@ -773,6 +773,7 @@ NOTIFY_EFFECTS = frozenset(
     {
         "Speculated", "ComputeBegin", "Verified", "Corrected",
         "CascadeBegin", "CascadeStep", "CascadeEnd", "IterationDone",
+        "WindowChanged",
     }
 )
 #: The full effect alphabet of :mod:`repro.engine.events` (mirrored

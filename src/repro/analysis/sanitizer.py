@@ -9,7 +9,7 @@ the effect stream of one live execution, every invariant whose
 ``event-state-machine``, ``monotonic-virtual-time``,
 ``forward-window-bound``, ``cascade-order``,
 ``verify-without-speculate``, ``eventual-verification``,
-``sequence-gap-freedom``.
+``sequence-gap-freedom``, ``window-policy-bound``.
 
 (The registry's remaining ids — ``deadlock-freedom`` and
 ``history-ring-bound`` — need a global view of *all* interleavings and
@@ -92,6 +92,9 @@ class ProtocolSanitizer:
         self._cascade_last: dict[int, int] = {}
         #: Per (dst_rank, src) last delivered wire sequence number.
         self._last_seq: dict[tuple[int, int], int] = {}
+        #: Per-rank current FW as announced by WindowChanged events
+        #: (present only for ranks running an adaptive window policy).
+        self._current_fw: dict[int, int] = {}
         self._last_now: float = float("-inf")
         #: Totals, exposed for tests / reporting.
         self.events_checked = 0
@@ -161,6 +164,14 @@ class ProtocolSanitizer:
     ) -> None:
         """Rank ``rank`` enters the compute of iteration ``t``."""
         self.note(f"rank {rank}: compute t={t} verified_upto={verified_upto} fw={fw}")
+        current = self._current_fw.get(rank)
+        if current is not None and fw != current:
+            self._violate(
+                "window-policy-bound",
+                f"rank {rank} computing t={t} gated on fw={fw} but the "
+                f"window policy last announced fw={current}: gates must "
+                "respect the current window, not a stale one",
+            )
         if verified_upto >= t:
             return  # nothing unverified at or before t
         oldest_unverified = verified_upto + 1
@@ -205,6 +216,24 @@ class ProtocolSanitizer:
         """The open cascade for ``rank`` finished."""
         self.note(f"rank {rank}: cascade end")
         self._cascade_last.pop(rank, None)
+
+    def on_window_changed(
+        self, rank: int, t: int, old_fw: int, new_fw: int,
+        min_fw: int, max_fw: int,
+    ) -> None:
+        """The seated window policy moved ``rank``'s FW
+        (``window-policy-bound``)."""
+        self.note(
+            f"rank {rank}: window t={t} fw {old_fw}->{new_fw} "
+            f"bounds=[{min_fw}, {max_fw}]"
+        )
+        if not min_fw <= new_fw <= max_fw:
+            self._violate(
+                "window-policy-bound",
+                f"rank {rank} window moved to fw={new_fw} outside the "
+                f"policy bounds [{min_fw}, {max_fw}]",
+            )
+        self._current_fw[rank] = new_fw
 
     def on_delivery(self, rank: int, src: int, seq: int) -> None:
         """A transport delivered the ``seq``-th message from ``src`` to
@@ -303,12 +332,17 @@ def run_selftest(verbose: bool = True) -> int:
         san.on_speculate(0, src=1, t=3)
         san.on_run_end()
 
+    def bad_window_policy() -> None:
+        san = ProtocolSanitizer()
+        san.on_window_changed(0, t=4, old_fw=2, new_fw=3, min_fw=0, max_fw=2)
+
     expect_violation("verify-without-speculate", bad_verify)
     expect_violation("forward-window-bound", bad_window)
     expect_violation("cascade-order", bad_cascade)
     expect_violation("monotonic-virtual-time", bad_clock)
     expect_violation("sequence-gap-freedom", bad_seq_gap)
     expect_violation("eventual-verification", bad_run_end)
+    expect_violation("window-policy-bound", bad_window_policy)
 
     if verbose:
         if failures:
@@ -318,6 +352,6 @@ def run_selftest(verbose: bool = True) -> int:
             print(
                 "sanitizer selftest ok: clean run passed; "
                 f"{len(ProtocolSanitizer.INVARIANTS)} invariants armed, "
-                "6 crafted violations detected"
+                "7 crafted violations detected"
             )
     return 1 if failures else 0

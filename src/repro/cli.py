@@ -111,11 +111,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _nbody_window_policy(args: argparse.Namespace):
+    """The :class:`~repro.policy.AimdWindow` template for ``--adaptive``
+    (None when the run keeps its fixed forward window)."""
+    if not args.adaptive:
+        return None
+    from repro.policy import AimdWindow
+
+    return AimdWindow(epoch=args.epoch, min_fw=0, max_fw=args.max_fw)
+
+
 def _cmd_nbody(args: argparse.Namespace) -> int:
     if args.backend == "mp":
         return _cmd_nbody_mp(args)
     from repro.harness import run_nbody
 
+    try:
+        policy = _nbody_window_policy(args)
+    except ValueError as exc:
+        print(f"repro nbody: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     event_log = None
     if args.record_trace:
         from repro.trace import EventLog
@@ -128,20 +143,28 @@ def _cmd_nbody(args: argparse.Namespace) -> int:
         n_particles=args.particles,
         threshold=args.theta,
         event_log=event_log,
+        window_policy=policy,
     )
     if event_log is not None:
         event_log.save(args.record_trace)
         print(f"(trace: {len(event_log)} events written to {args.record_trace})")
     b = result.steady_breakdown() if result.iterations > 1 else result.breakdown()
+    mode = f" adaptive(epoch={args.epoch}, max_fw={args.max_fw})" if policy else ""
     print(
         f"p={args.p} FW={args.fw} N={args.particles} T={args.iterations} "
-        f"theta={args.theta}"
+        f"theta={args.theta}{mode}"
     )
     print(f"  makespan            : {result.makespan:.3f} virtual s")
     print(f"  time/iteration      : {result.time_per_iteration:.3f} s")
     print(f"  compute / comm      : {b['compute']:.3f} / {b['comm']:.3f} s per iter")
     print(f"  spec / check / corr : {b['spec']:.3f} / {b['check']:.3f} / {b['correct']:.3f}")
     print(f"  rejected speculation: {100 * program.spec_stats.incorrect_fraction:.2f}%")
+    if policy is not None:
+        changes = sum(len(h) - 1 for h in result.window_history)
+        print(
+            f"  final windows       : {result.final_windows()} "
+            f"({changes} change(s))"
+        )
     return 0
 
 
@@ -149,6 +172,11 @@ def _cmd_nbody_mp(args: argparse.Namespace) -> int:
     """``repro nbody --backend mp``: the protocol on real processes."""
     from repro.harness import run_nbody_mp
 
+    try:
+        policy = _nbody_window_policy(args)
+    except ValueError as exc:
+        print(f"repro nbody: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     program, result = run_nbody_mp(
         p=args.p,
         fw=args.fw,
@@ -158,21 +186,31 @@ def _cmd_nbody_mp(args: argparse.Namespace) -> int:
         latency=args.latency,
         jitter=args.jitter,
         record_events=bool(args.record_trace),
+        window_policy=policy,
     )
     if args.record_trace:
         log = result.event_log()
         log.save(args.record_trace)
         print(f"(trace: {len(log)} events written to {args.record_trace})")
     spec_made = sum(r.spec_made for r in result.reports)
+    mode = f" adaptive(epoch={args.epoch}, max_fw={args.max_fw})" if policy else ""
     print(
         f"p={args.p} FW={args.fw} N={args.particles} T={args.iterations} "
-        f"theta={args.theta} backend=mp latency={args.latency}s"
+        f"theta={args.theta} backend=mp latency={args.latency}s{mode}"
     )
     print(f"  wall time           : {result.wall_seconds:.3f} s (slowest rank)")
     print(f"  compute / comm      : {result.phase_seconds('compute'):.3f} / "
           f"{result.phase_seconds('comm'):.3f} s (max over ranks)")
     print(f"  speculations made   : {spec_made}")
     print(f"  rejected speculation: {100 * result.rejection_rate:.2f}%")
+    if policy is not None:
+        changes = sum(
+            len(h) - 1 for h in result.window_history().values()
+        )
+        print(
+            f"  final windows       : {result.final_windows()} "
+            f"({changes} change(s))"
+        )
     return 0
 
 
@@ -615,6 +653,7 @@ def _cmd_mc(args: argparse.Namespace) -> int:
                                 iters=iters,
                                 cascade=args.cascade,
                                 scenario=args.scenario,
+                                window=args.window,
                             )
                         )
     except ValueError as exc:
@@ -726,6 +765,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="record the protocol event trace (JSONL) for later "
         "`repro analyze --trace FILE` replay",
+    )
+    p_nb.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="seat an AIMD window policy in every rank's engine: --fw "
+        "becomes the initial window and each rank retunes its own FW "
+        "at runtime (works on both backends)",
+    )
+    p_nb.add_argument(
+        "--epoch", type=int, default=4, metavar="N",
+        help="adaptive: iterations between window decisions (default: 4)",
+    )
+    p_nb.add_argument(
+        "--max-fw", type=int, default=4, metavar="N",
+        help="adaptive: upper bound on the forward window (default: 4)",
     )
     p_nb.set_defaults(func=_cmd_nbody)
 
@@ -954,6 +1008,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario", choices=("drift", "constant"), default="drift",
         help="program scenario: drift rejects every speculation "
         "(cascades fire); constant accepts every speculation",
+    )
+    p_mc.add_argument(
+        "--window", choices=("static", "aimd"), default="static",
+        help="window policy seated in every engine: static keeps FW "
+        "fixed; aimd explores the adaptive controller's widen/shrink "
+        "schedule (one-iteration epochs, bounds [0, 2])",
     )
     p_mc.add_argument(
         "--budget", metavar="SPEC",

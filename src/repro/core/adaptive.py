@@ -1,22 +1,24 @@
-"""Runtime adaptation of the forward window.
+"""Runtime adaptation of the forward window (deprecated surface).
 
 The paper tunes FW and BW offline: "FW and BW are tuned for a given
 algorithm and computing platform to maximize performance"
-(Section 3.2).  This extension tunes FW *online*, per processor, from
-two observable signals:
+(Section 3.2).  This extension tunes FW *online*, per processor.
 
-* **waiting time** — virtual seconds blocked in the forward-window
-  wait during the last epoch.  Waiting means the window is too small
-  to absorb current delays → widen it.
-* **rejection rate** — fraction of checks rejected during the epoch.
-  Deep windows speculate across larger gaps; when the error-growth
-  (gap²) makes rejections expensive, shrink the window.
+The controller itself now lives in :class:`repro.policy.AimdWindow`,
+seated **inside** :class:`~repro.engine.core.SpecEngine` — so it runs
+on every backend (DES, loopback, real processes), not just the
+simulator.  What remains here is the historical driver-level surface:
 
-The controller is deliberately simple (AIMD-flavoured): widen by one
-when the epoch's wait exceeds ``wait_fraction`` of the epoch span and
-rejections are below ``reject_low``; shrink by one when rejections
-exceed ``reject_high``.  Each rank adapts independently — slower ranks
-or ranks behind congested paths settle on different windows.
+* :class:`AdaptivePolicy` — the parameter bundle (unchanged API);
+* :class:`AdaptiveSpeculativeDriver` — a thin shim over
+  :class:`~repro.core.driver.SpeculativeDriver` that constructs the
+  :class:`~repro.policy.AimdWindow` and exposes the old
+  ``fw_history`` / ``final_windows()`` views, now reconstructed from
+  the engines' ``WindowChanged`` effects.
+
+New code should pass ``window_policy=AimdWindow(...)`` to
+:func:`~repro.core.driver.run_program`, ``run_loopback`` or
+``MPRunner`` directly.
 """
 
 from __future__ import annotations
@@ -26,8 +28,8 @@ from typing import Optional
 
 from repro.core.driver import SpeculativeDriver
 from repro.core.program import SyncIterativeProgram
-from repro.engine.core import SpecEngine
-from repro.vm import Cluster, VirtualProcessor
+from repro.policy import AimdWindow
+from repro.vm import Cluster
 
 
 @dataclass(frozen=True)
@@ -66,9 +68,26 @@ class AdaptivePolicy:
         if not 0 <= self.reject_low <= self.reject_high <= 1:
             raise ValueError("need 0 <= reject_low <= reject_high <= 1")
 
+    def window(self) -> AimdWindow:
+        """The equivalent engine-seated :class:`AimdWindow` template."""
+        return AimdWindow(
+            epoch=self.epoch,
+            min_fw=self.min_fw,
+            max_fw=self.max_fw,
+            wait_fraction=self.wait_fraction,
+            reject_low=self.reject_low,
+            reject_high=self.reject_high,
+        )
+
 
 class AdaptiveSpeculativeDriver(SpeculativeDriver):
     """A speculative driver that retunes each rank's FW at runtime.
+
+    Thin compatibility shim: constructs an
+    :class:`~repro.policy.AimdWindow` from ``policy`` and seats it in
+    every rank's engine via the base driver; ``fw_history`` (the base
+    driver collects it from ``WindowChanged`` effects) and
+    :meth:`final_windows` keep their historical shapes.
 
     Parameters
     ----------
@@ -91,52 +110,13 @@ class AdaptiveSpeculativeDriver(SpeculativeDriver):
         cascade: str = "none",
         sanitize: Optional[bool] = None,
     ) -> None:
-        super().__init__(program, cluster, fw=fw, cascade=cascade, sanitize=sanitize)
         if not policy.min_fw <= fw <= policy.max_fw:
             raise ValueError("initial fw must lie within [min_fw, max_fw]")
+        super().__init__(
+            program, cluster, fw=fw, cascade=cascade, sanitize=sanitize,
+            window_policy=policy.window(),
+        )
         self.policy = policy
-        #: Per-rank trajectory of (iteration, new_fw) decisions.
-        self.fw_history: list[list[tuple[int, int]]] = [
-            [(0, fw)] for _ in range(cluster.size)
-        ]
-        self._epoch_marks: list[dict] = [
-            {"start_time": 0.0, "checks": 0, "rejects": 0} for _ in range(cluster.size)
-        ]
-
-    def _post_iteration(self, proc: VirtualProcessor, st: SpecEngine, t: int) -> None:
-        pol = self.policy
-        if (t + 1) % pol.epoch != 0:
-            return
-        j = proc.rank
-        stats = self._stats[j]
-        mark = self._epoch_marks[j]
-
-        span = proc.env.now - mark["start_time"]
-        checks = stats.checks - mark["checks"]
-        rejects = stats.spec_rejected - mark["rejects"]
-        reject_rate = rejects / checks if checks else 0.0
-        wait = st.epoch_wait
-
-        new_fw = st.fw
-        if reject_rate > pol.reject_high and st.fw > pol.min_fw:
-            new_fw = st.fw - 1
-        elif (
-            span > 0
-            and wait > pol.wait_fraction * span
-            and reject_rate < pol.reject_low
-            and st.fw < pol.max_fw
-        ):
-            new_fw = st.fw + 1
-
-        if new_fw != st.fw:
-            st.fw = new_fw
-            self.fw_history[j].append((t + 1, new_fw))
-
-        # Reset the epoch window.
-        st.epoch_wait = 0.0
-        mark["start_time"] = proc.env.now
-        mark["checks"] = stats.checks
-        mark["rejects"] = stats.spec_rejected
 
     def final_windows(self) -> list[int]:
         """The FW each rank ended the run with."""

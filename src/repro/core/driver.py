@@ -58,6 +58,7 @@ from repro.engine.des_transport import DESTransport
 # Re-exported for backwards compatibility: the authoritative definition
 # of the message-tag family moved into the engine's effect alphabet.
 from repro.engine.events import VARS  # noqa: F401
+from repro.policy import CascadePolicy, WindowPolicy
 from repro.vm import Cluster, VirtualProcessor
 
 
@@ -92,6 +93,12 @@ class SpeculativeDriver:
         which asserts DES and forward-window invariants as the
         simulation executes.  ``None`` (default) defers to the
         ``REPRO_SANITIZE`` environment variable.
+    window_policy:
+        Optional :class:`~repro.policy.WindowPolicy` template seated
+        inside every rank's engine; each rank spawns a private copy
+        and adapts independently.  ``fw`` is then the initial window;
+        decisions land in :attr:`fw_history` (and in
+        ``RunResult.window_history``).
     """
 
     def __init__(
@@ -99,14 +106,13 @@ class SpeculativeDriver:
         program: SyncIterativeProgram,
         cluster: Cluster,
         fw: int = 1,
-        cascade: str = "recompute",
+        cascade: "CascadePolicy | str" = CascadePolicy.RECOMPUTE,
         sanitize: Optional[bool] = None,
+        window_policy: Optional[WindowPolicy] = None,
     ) -> None:
         if fw < 0:
             raise ValueError("fw must be >= 0")
-        if cascade not in ("recompute", "none"):
-            raise ValueError(f"unknown cascade policy {cascade!r}")
-        self.cascade = cascade
+        self.cascade = CascadePolicy.coerce(cascade)
         if cluster.size != program.nprocs:
             raise ValueError(
                 f"cluster has {cluster.size} processors but program wants {program.nprocs}"
@@ -122,6 +128,13 @@ class SpeculativeDriver:
         self._stats = [SpecStats(rank=r) for r in range(cluster.size)]
         #: needed[j] / audience[j]: validated dependency topology.
         self._needed, self._audience = topology(program)
+        #: Template window policy; each engine spawns a private copy.
+        self.window_policy = window_policy
+        #: Per-rank (iteration, fw) trajectory, seeded with the initial
+        #: window; grown from the engines' WindowChanged effects.
+        self.fw_history: list[list[tuple[int, int]]] = [
+            [(0, fw)] for _ in range(cluster.size)
+        ]
 
     # ------------------------------------------------------------------ run
     def run(self) -> RunResult:
@@ -142,6 +155,7 @@ class SpeculativeDriver:
             fw=self.fw,
             iterations=self.program.iterations,
             capacities=self.cluster.capacities(),
+            window_history=self.fw_history,
         )
 
     # ---------------------------------------------------------- per-rank code
@@ -154,6 +168,9 @@ class SpeculativeDriver:
             sanitizer=self.sanitizer,
             event_log=self.cluster.event_log,
             on_iteration=lambda t: self._post_iteration(proc, engine, t),
+            on_window=lambda eff: self.fw_history[j].append(
+                (eff.iteration, eff.new_fw)
+            ),
         )
         final = yield from transport.drive(engine)
         return final
@@ -174,6 +191,7 @@ class SpeculativeDriver:
             # the forward-window policy at the driver level.
             pre_send_horizon=self._pre_send_horizon,
             window_ok=self._window_ok,
+            policy=self.window_policy,
         )
 
     # ----------------------------------------------------------- extension
@@ -200,10 +218,12 @@ def run_program(
     program: SyncIterativeProgram,
     cluster: Cluster,
     fw: int = 1,
-    cascade: str = "recompute",
+    cascade: "CascadePolicy | str" = CascadePolicy.RECOMPUTE,
     sanitize: Optional[bool] = None,
+    window_policy: Optional[WindowPolicy] = None,
 ) -> RunResult:
     """Convenience wrapper: build a driver and run it."""
     return SpeculativeDriver(
-        program, cluster, fw=fw, cascade=cascade, sanitize=sanitize
+        program, cluster, fw=fw, cascade=cascade, sanitize=sanitize,
+        window_policy=window_policy,
     ).run()

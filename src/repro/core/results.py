@@ -70,6 +70,10 @@ class RunResult:
         Iterations executed.
     capacities:
         Processor capacities M_i of the cluster that ran.
+    window_history:
+        Per-rank ``(iteration, fw)`` trajectories (seeded with the
+        initial window; extended by WindowChanged effects when a
+        window policy is seated).  Empty for legacy call sites.
     """
 
     makespan: float
@@ -79,6 +83,11 @@ class RunResult:
     fw: int
     iterations: int
     capacities: list[float] = field(default_factory=list)
+    window_history: list[list[tuple[int, int]]] = field(default_factory=list)
+
+    def final_windows(self) -> list[int]:
+        """The FW each rank ended the run with (see ``window_history``)."""
+        return [history[-1][1] for history in self.window_history]
 
     @property
     def nprocs(self) -> int:

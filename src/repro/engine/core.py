@@ -59,8 +59,10 @@ from repro.engine.events import (
     Speculated,
     TryRecv,
     Verified,
+    WindowChanged,
 )
 from repro.engine.ring import HistoryRing
+from repro.policy import CascadePolicy, WindowPolicy
 
 
 def default_hist_cap(program: SyncIterativeProgram) -> int:
@@ -126,16 +128,26 @@ class SpecEngine:
         The rank's dependency topology (see :func:`topology`).
     fw:
         Forward window; 0 reproduces the blocking algorithm of Fig. 1.
+        With a seated ``policy`` this is the *initial* window and must
+        lie within the policy's bounds.
     cascade:
         ``"recompute"`` (redo iterations after a rejected one) or
-        ``"none"`` (the paper's local correction).
+        ``"none"`` (the paper's local correction); coerced to
+        :class:`~repro.policy.CascadePolicy`.
     hist_cap:
         Backward-window ring capacity (default from the speculator).
     stats:
         Mutable counter sink; one :class:`SpecStats` per rank.
     pre_send_horizon / window_ok:
         Overridable forward-window gates (drivers pass bound methods;
-        tests sabotage them to exercise the runtime sanitizer).
+        tests sabotage them to exercise the runtime sanitizer).  Both
+        gates read ``engine.fw`` live, so they track the *current*
+        window under an adapting policy.
+    policy:
+        Optional :class:`~repro.policy.WindowPolicy` consulted at every
+        ``IterationDone`` with the transport-supplied clock; a changed
+        window is announced as a ``WindowChanged`` effect.  The engine
+        spawns a private instance, so one template may seed all ranks.
     """
 
     def __init__(
@@ -145,22 +157,24 @@ class SpecEngine:
         needed: FrozenSet[int],
         audience: Sequence[int],
         fw: int = 1,
-        cascade: str = "recompute",
+        cascade: "CascadePolicy | str" = CascadePolicy.RECOMPUTE,
         hist_cap: Optional[int] = None,
         stats: Optional[SpecStats] = None,
         pre_send_horizon: Optional[HorizonFn] = None,
         window_ok: Optional[WindowFn] = None,
+        policy: Optional[WindowPolicy] = None,
     ) -> None:
         if fw < 0:
             raise ValueError("fw must be >= 0")
-        if cascade not in ("recompute", "none"):
-            raise ValueError(f"unknown cascade policy {cascade!r}")
+        if policy is not None and not policy.min_fw <= fw <= policy.max_fw:
+            raise ValueError("initial fw must lie within [min_fw, max_fw]")
         self.program = program
         self.rank = rank
         self.needed = frozenset(needed)
         self.audience = list(audience)
         self.fw = fw
-        self.cascade = cascade
+        self.cascade = CascadePolicy.coerce(cascade)
+        self.policy = policy.spawn() if policy is not None else None
         self.hist_cap = hist_cap if hist_cap is not None else default_hist_cap(program)
         self.stats = stats if stats is not None else SpecStats(rank=rank)
         self._pre_send_horizon = pre_send_horizon
@@ -325,7 +339,11 @@ class SpecEngine:
             self.frontier = t + 1
             stats.iterations += 1
             self.prune()
-            yield IterationDone(iteration=t)
+            # The transport may respond with its clock (virtual, wall
+            # or step time); the seated policy retunes the window on it.
+            now = yield IterationDone(iteration=t)
+            if self.policy is not None:
+                yield from self._retune(t, now)
 
         # 5. Final verification: wait out all stragglers so every
         #    speculation is checked and corrected before reporting.
@@ -334,6 +352,37 @@ class SpecEngine:
             yield from self._on_arrival(arrival)
 
         return self.chain[T]
+
+    # -------------------------------------------------------------- policy
+    def _retune(self, t: int, now: Optional[float]) -> Generator:
+        """Consult the seated window policy after iteration ``t``.
+
+        ``now`` is the transport's response to ``IterationDone``; a
+        transport with no clock (the model checker) responds None and
+        the iteration count stands in — a pure function of protocol
+        state, so fingerprint dedup stays sound.
+        """
+        policy = self.policy
+        assert policy is not None
+        clock = float(t + 1) if now is None else float(now)
+        new_fw = policy.on_iteration(
+            t,
+            fw=self.fw,
+            epoch_wait=self.epoch_wait,
+            checks=self.stats.checks,
+            rejects=self.stats.spec_rejected,
+            now=clock,
+        )
+        if new_fw != self.fw:
+            old_fw = self.fw
+            self.fw = new_fw
+            yield WindowChanged(
+                iteration=t + 1,
+                old_fw=old_fw,
+                new_fw=new_fw,
+                min_fw=policy.min_fw,
+                max_fw=policy.max_fw,
+            )
 
     # ------------------------------------------------------------- arrivals
     def _on_arrival(self, arrival: Arrival) -> Generator:

@@ -39,6 +39,7 @@ from repro.engine.events import (
     Speculated,
     TryRecv,
     Verified,
+    WindowChanged,
 )
 from repro.engine.transport import TransportError
 from repro.vm.processor import VirtualProcessor
@@ -60,7 +61,12 @@ class DESTransport:
         correct events are recorded here).
     on_iteration:
         Optional ``t -> None`` hook fired after each completed
-        iteration (the adaptive driver retunes the window here).
+        iteration (progress callbacks; adaptation itself now lives in
+        the engine-seated :class:`~repro.policy.WindowPolicy`).
+    on_window:
+        Optional ``WindowChanged -> None`` hook fired when the seated
+        policy moves this rank's window (drivers collect
+        ``fw_history`` here).
     """
 
     def __init__(
@@ -69,11 +75,13 @@ class DESTransport:
         sanitizer: Any = None,
         event_log: Any = None,
         on_iteration: Optional[Callable[[int], None]] = None,
+        on_window: Optional[Callable[[WindowChanged], None]] = None,
     ) -> None:
         self.proc = proc
         self.sanitizer = sanitizer
         self.event_log = event_log
         self.on_iteration = on_iteration
+        self.on_window = on_window
 
     # ------------------------------------------------------------- the loop
     def drive(self, engine: Any) -> Generator:
@@ -113,7 +121,7 @@ class DESTransport:
                 msg = proc.try_recv()
                 response = self._arrival(msg) if msg is not None else None
             else:
-                self._notify(effect)
+                response = self._notify(effect)
 
     # ------------------------------------------------------------- plumbing
     def _arrival(self, msg: Any, waited: float = 0.0) -> Arrival:
@@ -127,8 +135,12 @@ class DESTransport:
             src=msg.src, iteration=iteration, payload=msg.payload, waited=waited
         )
 
-    def _notify(self, effect: Any) -> None:
-        """Fan one protocol event out to the sanitizer and event log."""
+    def _notify(self, effect: Any) -> Optional[float]:
+        """Fan one protocol event out to the sanitizer and event log.
+
+        Returns the virtual clock for ``IterationDone`` (the seated
+        window policy's timebase); None for every other event.
+        """
         proc = self.proc
         san = self.sanitizer
         log = self.event_log
@@ -176,3 +188,18 @@ class DESTransport:
         elif kind is IterationDone:
             if self.on_iteration is not None:
                 self.on_iteration(effect.iteration)
+            return now
+        elif kind is WindowChanged:
+            if san is not None:
+                san.on_window_changed(
+                    rank, effect.iteration, effect.old_fw, effect.new_fw,
+                    effect.min_fw, effect.max_fw,
+                )
+            if log is not None:
+                log.record(
+                    "window", rank, now, peer=effect.new_fw,
+                    iteration=effect.iteration,
+                )
+            if self.on_window is not None:
+                self.on_window(effect)
+        return None

@@ -173,10 +173,34 @@ class CascadeEnd:
 
 @dataclass(frozen=True)
 class IterationDone:
-    """Iteration ``iteration`` completed (host hook: adaptive window
-    retuning, progress callbacks)."""
+    """Iteration ``iteration`` completed.
+
+    The transport may respond with its clock reading (virtual seconds
+    under DES, wall seconds on pipes, the step count on loopback);
+    the engine feeds it to the seated
+    :class:`~repro.policy.WindowPolicy`.  A ``None`` response makes
+    the engine fall back to the iteration count as the clock.
+    """
 
     iteration: int
+
+
+@dataclass(frozen=True)
+class WindowChanged:
+    """The seated window policy moved this rank's FW.
+
+    Emitted only when ``new_fw != old_fw`` (so fixed-window runs stay
+    byte-identical); ``iteration`` is the first iteration the new
+    window governs (the decision fired after ``iteration - 1``
+    completed).  Bounds ride along so observers can check the
+    ``window-policy-bound`` invariant without knowing the policy.
+    """
+
+    iteration: int
+    old_fw: int
+    new_fw: int
+    min_fw: int
+    max_fw: int
 
 
 #: Every effect the engine may yield (for transports that dispatch).
@@ -193,4 +217,5 @@ Effect = (
     CascadeStep,
     CascadeEnd,
     IterationDone,
+    WindowChanged,
 )

@@ -26,6 +26,7 @@ tallies (the loopback's "time").
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import Any, Deque, Dict, Optional, Tuple
 
 from repro.analysis.sanitizer import ProtocolSanitizer, sanitizer_from_env
@@ -39,12 +40,15 @@ from repro.engine.events import (
     Charge,
     ComputeBegin,
     Corrected,
+    IterationDone,
     Recv,
     Send,
     Speculated,
     TryRecv,
     Verified,
+    WindowChanged,
 )
+from repro.policy import WindowPolicy
 
 
 class LoopbackDeadlock(RuntimeError):
@@ -95,18 +99,30 @@ class LoopbackRunner:
         self.phase_ops: Dict[int, Dict[str, float]] = {
             rank: {} for rank in self.engines
         }
+        #: rank -> [(iteration, new_fw)] window-policy decisions.
+        self.window_history: Dict[int, list[Tuple[int, int]]] = {
+            rank: [] for rank in self.engines
+        }
         self._step = 0
+        #: Scheduler sweeps completed — the loopback's coarse clock
+        #: (responds to ``IterationDone``; also the unit of
+        #: ``Arrival.waited`` for ranks parked on a blocking receive).
+        self._rounds = 0
+        self._parked_at: Dict[int, int] = {}
 
     # -------------------------------------------------------------- running
     def run(self) -> Dict[int, Any]:
         """Execute every rank to completion; rank -> final block."""
         gens = {rank: engine.run() for rank, engine in self.engines.items()}
-        response: Dict[int, Optional[Arrival]] = {rank: None for rank in gens}
+        response: Dict[int, Optional[Arrival | float]] = {
+            rank: None for rank in gens
+        }
         blocked: Dict[int, Recv] = {}
         finals: Dict[int, Any] = {}
 
         while len(finals) < len(gens):
             progress = False
+            self._rounds += 1
             for rank in sorted(gens):
                 if rank in finals:
                     continue
@@ -114,7 +130,8 @@ class LoopbackRunner:
                     arrival = self._match(rank, blocked[rank])
                     if arrival is None:
                         continue  # still blocked
-                    response[rank] = arrival
+                    waited = float(self._rounds - self._parked_at.pop(rank))
+                    response[rank] = replace(arrival, waited=waited)
                     del blocked[rank]
                     progress = True
                 # Step this rank until it blocks or finishes.
@@ -136,13 +153,14 @@ class LoopbackRunner:
                         arrival = self._match(rank, effect)
                         if arrival is None:
                             blocked[rank] = effect
+                            self._parked_at[rank] = self._rounds
                             break
                         response[rank] = arrival
                     elif kind is Charge:
                         tally = self.phase_ops[rank]
                         tally[effect.phase] = tally.get(effect.phase, 0.0) + effect.ops
                     else:
-                        self._observe(rank, effect)
+                        response[rank] = self._observe(rank, effect)
             if not progress:
                 waiting = {
                     rank: (eff.match, eff.iteration)
@@ -205,9 +223,12 @@ class LoopbackRunner:
                 family=family, iteration=iteration,
             )
 
-    def _observe(self, rank: int, effect: Any) -> None:
+    def _observe(self, rank: int, effect: Any) -> Optional[float]:
         """Fan one protocol event out to the sanitizer and event log
-        (the loopback seat of ``DESTransport._notify``)."""
+        (the loopback seat of ``DESTransport._notify``).
+
+        Returns the sweep count for ``IterationDone`` — the loopback's
+        clock for the engine-seated window policy."""
         log = self.event_log
         san = self.sanitizer
         kind = type(effect)
@@ -244,6 +265,19 @@ class LoopbackRunner:
         elif kind is CascadeEnd:
             if san is not None:
                 san.on_cascade_end(rank)
+        elif kind is IterationDone:
+            return float(self._rounds)
+        elif kind is WindowChanged:
+            if san is not None:
+                san.on_window_changed(
+                    rank, effect.iteration, effect.old_fw, effect.new_fw,
+                    effect.min_fw, effect.max_fw,
+                )
+            if log is not None:
+                log.record("window", rank, self._tick(),
+                           peer=effect.new_fw, iteration=effect.iteration)
+            self.window_history[rank].append((effect.iteration, effect.new_fw))
+        return None
 
 
 def run_loopback(
@@ -253,12 +287,14 @@ def run_loopback(
     receive_driven: bool = False,
     event_log: Any = None,
     sanitize: Optional[bool] = None,
+    window_policy: Optional[WindowPolicy] = None,
 ) -> Tuple[Dict[int, Any], list[SpecStats], LoopbackRunner]:
     """Run ``program`` on the loopback transport.
 
     Returns ``(final_blocks, stats, runner)`` — the per-rank final
     blocks, the speculation counters, and the runner (whose
-    ``phase_ops`` tallies and queues tests may inspect).
+    ``phase_ops`` tallies, ``window_history`` and queues tests may
+    inspect).
     """
     needed, audience = topology(program)
     stats = [SpecStats(rank=r) for r in range(program.nprocs)]
@@ -272,6 +308,7 @@ def run_loopback(
             engines[rank] = SpecEngine(
                 program, rank, needed[rank], audience[rank],
                 fw=fw, cascade=cascade, stats=stats[rank],
+                policy=window_policy,
             )
     runner = LoopbackRunner(engines, event_log=event_log, sanitize=sanitize)
     finals = runner.run()

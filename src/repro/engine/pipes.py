@@ -46,11 +46,13 @@ from repro.engine.events import (
     Charge,
     ComputeBegin,
     Corrected,
+    IterationDone,
     Recv,
     Send,
     Speculated,
     TryRecv,
     Verified,
+    WindowChanged,
 )
 from repro.engine.transport import TransportError
 from repro.trace.events import TraceEvent
@@ -117,6 +119,9 @@ class PipeTransport:
         self.events: List[TraceEvent] = []
         self._event_seq = 0
         self.phase_seconds: Dict[str, float] = {}
+        #: (iteration, new_fw) decisions from the engine-seated window
+        #: policy (always collected; the worker reports them upstream).
+        self.window_events: List[Tuple[int, int]] = []
         self.t0 = time.monotonic()
         self._mark = self.t0
 
@@ -127,6 +132,7 @@ class PipeTransport:
         self._mark = self.t0
         self._event_seq = 0
         self.events.clear()
+        self.window_events.clear()
 
     @property
     def wall_seconds(self) -> float:
@@ -191,7 +197,7 @@ class PipeTransport:
             timeout = self._next_maturity(now)
             connection.wait(self._wait_list, timeout)
 
-    def notify(self, effect: Any) -> None:
+    def notify(self, effect: Any) -> Optional[float]:
         san = self.sanitizer
         kind = type(effect)
         if kind is Speculated:
@@ -222,7 +228,20 @@ class PipeTransport:
         elif kind is CascadeEnd:
             if san is not None:
                 san.on_cascade_end(self.rank)
-        # IterationDone has no wall-clock observer.
+        elif kind is IterationDone:
+            # Respond with the wall clock: the engine-seated window
+            # policy adapts on real blocked-in-select seconds here.
+            return self.wall_seconds
+        elif kind is WindowChanged:
+            if san is not None:
+                san.on_window_changed(
+                    self.rank, effect.iteration, effect.old_fw,
+                    effect.new_fw, effect.min_fw, effect.max_fw,
+                )
+            self._emit("window", peer=effect.new_fw,
+                       iteration=effect.iteration)
+            self.window_events.append((effect.iteration, effect.new_fw))
+        return None
 
     # ------------------------------------------------------------- internals
     def _pump(self) -> None:

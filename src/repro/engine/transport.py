@@ -47,8 +47,15 @@ class Transport(Protocol):
         """Account compute cost to a phase (wall transports attribute
         the real time since the previous effect boundary)."""
 
-    def notify(self, event: Any) -> None:
-        """Forward a protocol event to the medium's observers."""
+    def notify(self, event: Any) -> Optional[float]:
+        """Forward a protocol event to the medium's observers.
+
+        May return a clock reading (wall/virtual/step seconds) that
+        :func:`drive` sends back into the engine — the transport-time
+        channel the seated window policy adapts on at
+        ``IterationDone``.  Return None when the event needs no
+        response.
+        """
 
 
 def drive(engine: Any, transport: Transport) -> Any:
@@ -56,10 +63,10 @@ def drive(engine: Any, transport: Transport) -> Any:
 
     Returns the engine's final block.  This is the whole sans-I/O
     pattern in eleven lines: the engine yields effects, the transport
-    performs them, arrivals flow back in.
+    performs them, arrivals (and clock readings) flow back in.
     """
     gen = engine.run()
-    response: Optional[Arrival] = None
+    response: Optional[Arrival | float] = None
     while True:
         try:
             effect = gen.send(response)
@@ -76,4 +83,4 @@ def drive(engine: Any, transport: Transport) -> Any:
         elif kind is Charge:
             transport.charge(effect)
         else:
-            transport.notify(effect)
+            response = transport.notify(effect)

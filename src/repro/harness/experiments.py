@@ -100,13 +100,18 @@ def run_nbody(
     record_force_errors: bool = False,
     config: Optional[dict[str, Any]] = None,
     event_log: Optional[EventLog] = None,
+    window_policy: Optional[Any] = None,
 ) -> tuple[NBodyProgram, RunResult]:
     """One measured N-body run on the calibrated platform.
 
     Returns the program (whose ``spec_stats`` carry particle-level
     counters) and the :class:`~repro.core.RunResult`.  Pass an
     ``event_log`` to record every protocol step (send/recv/speculate/
-    verify/correct) for ``repro analyze --trace`` replay.
+    verify/correct) for ``repro analyze --trace`` replay, and a
+    ``window_policy`` (e.g. :class:`~repro.policy.AimdWindow`) to let
+    each rank retune its forward window at runtime — ``fw`` is then
+    the initial window and ``RunResult.window_history`` records the
+    per-rank trajectories.
     """
     cfg = dict(HEADLINE)
     if config:
@@ -134,7 +139,10 @@ def run_nbody(
     cluster = platform.cluster()
     if event_log is not None:
         cluster.event_log = event_log
-    result = run_program(program, cluster, fw=fw, cascade=cfg["cascade"])
+    result = run_program(
+        program, cluster, fw=fw, cascade=cfg["cascade"],
+        window_policy=window_policy,
+    )
     return program, result
 
 
@@ -149,6 +157,7 @@ def run_nbody_mp(
     config: Optional[dict[str, Any]] = None,
     record_events: bool = False,
     timeout: float = 300.0,
+    window_policy: Optional[Any] = None,
 ) -> tuple[NBodyProgram, Any]:
     """One N-body run on **real OS processes** (the mp backend).
 
@@ -185,6 +194,7 @@ def run_nbody_mp(
         seed=cfg["seed"],
         cascade=cfg["cascade"],
         record_events=record_events,
+        window_policy=window_policy,
     )
     result = runner.run(timeout=timeout)
     return program, result

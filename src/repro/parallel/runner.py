@@ -9,6 +9,7 @@ from typing import Any, Optional
 from repro.core.program import SyncIterativeProgram
 from repro.engine.pipes import close_mesh, full_mesh
 from repro.parallel.worker import WorkerReport, worker_main
+from repro.policy import CascadePolicy, WindowPolicy
 from repro.trace.events import EventLog
 
 
@@ -46,6 +47,15 @@ class MPRunResult:
         for report in self.reports:
             log.extend(report.events)
         return log
+
+    def window_history(self) -> dict[int, list[tuple[int, int]]]:
+        """rank → (iteration, fw) trajectory from each worker's seated
+        window policy (a single ``(0, fw)`` entry for static runs)."""
+        return {r.rank: list(r.window_history) for r in self.reports}
+
+    def final_windows(self) -> list[int]:
+        """The FW each rank's engine ended the run with."""
+        return [r.final_fw for r in self.reports]
 
     def phase_seconds(self, phase: str, how: str = "max") -> float:
         """Aggregate one phase's wall time over workers."""
@@ -101,6 +111,12 @@ class MPRunner:
         :class:`~repro.analysis.sanitizer.ProtocolSanitizer`; ``None``
         (default) defers to ``REPRO_SANITIZE`` (inherited by workers).
         A violation in any worker surfaces as that worker's error.
+    window_policy:
+        Optional :class:`~repro.policy.WindowPolicy` template (must be
+        picklable); each worker's engine spawns a private copy, so
+        ranks adapt their forward windows independently on real wall
+        clocks.  Decisions come back in ``WorkerReport.window_history``
+        (see :meth:`MPRunResult.window_history`).
     """
 
     def __init__(
@@ -112,18 +128,18 @@ class MPRunner:
         seed: int = 0,
         start_method: Optional[str] = None,
         record_events: bool = False,
-        cascade: str = "recompute",
+        cascade: "CascadePolicy | str" = CascadePolicy.RECOMPUTE,
         sanitize: Optional[bool] = None,
+        window_policy: Optional[WindowPolicy] = None,
     ) -> None:
         if fw < 0:
             raise ValueError("fw must be >= 0")
-        if cascade not in ("recompute", "none"):
-            raise ValueError(f"unknown cascade policy {cascade!r}")
         if latency < 0 or jitter < 0:
             raise ValueError("latency and jitter must be >= 0")
         self.program = program
         self.fw = fw
-        self.cascade = cascade
+        self.cascade = CascadePolicy.coerce(cascade)
+        self.window_policy = window_policy
         self.latency = latency
         self.jitter = jitter
         self.seed = seed
@@ -160,6 +176,7 @@ class MPRunner:
                     self.record_events,
                     self.cascade,
                     self.sanitize,
+                    self.window_policy,
                 ),
                 daemon=True,
             )

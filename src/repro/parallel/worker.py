@@ -29,6 +29,7 @@ from repro.engine.core import SpecEngine, topology
 from repro.engine.events import VARS  # noqa: F401  (re-export, back-compat)
 from repro.engine.pipes import PipeTransport
 from repro.engine.transport import drive
+from repro.policy import WindowPolicy
 from repro.trace.events import TraceEvent
 
 
@@ -50,6 +51,10 @@ class WorkerReport:
     #: Protocol trace events (populated when the runner records them);
     #: times are wall seconds relative to the worker's protocol start.
     events: list[TraceEvent] = field(default_factory=list)
+    #: (iteration, new_fw) window-policy decisions on this rank.
+    window_history: list[tuple[int, int]] = field(default_factory=list)
+    #: The FW this rank's engine ended the run with.
+    final_fw: int = 0
 
 
 def worker_main(
@@ -65,12 +70,14 @@ def worker_main(
     record_events: bool = False,
     cascade: str = "recompute",
     sanitize: Optional[bool] = None,
+    window_policy: Optional[WindowPolicy] = None,
 ) -> None:
     """Entry point executed inside each worker process."""
     try:
         report = _run_protocol(
             rank, program, fw, conns, latency, jitter, seed, start_barrier,
             record_events=record_events, cascade=cascade, sanitize=sanitize,
+            window_policy=window_policy,
         )
     except (KeyboardInterrupt, SystemExit):  # pragma: no cover - interactive
         # Never convert interpreter-shutdown signals into a report: the
@@ -92,13 +99,14 @@ def worker_main(
 def _run_protocol(
     rank, program, fw, conns, latency, jitter, seed, start_barrier,
     record_events=False, cascade="recompute", sanitize=None,
+    window_policy=None,
 ):
     """Build this rank's engine + transport and run to completion."""
     needed, audience = topology(program)
     stats = SpecStats(rank=rank)
     engine = SpecEngine(
         program, rank, needed[rank], audience[rank],
-        fw=fw, cascade=cascade, stats=stats,
+        fw=fw, cascade=cascade, stats=stats, policy=window_policy,
     )
     transport = PipeTransport(
         rank, conns,
@@ -124,4 +132,6 @@ def _run_protocol(
         tainted_sends=stats.tainted_sends,
         wall_seconds=transport.wall_seconds,
         events=transport.events,
+        window_history=[(0, fw)] + transport.window_events,
+        final_fw=engine.fw,
     )

@@ -1,0 +1,192 @@
+"""Forward-window policies: who decides each rank's FW, and when.
+
+The engine consults its policy once per completed iteration, passing
+*cumulative* signals (total window-wait, total checks, total rejects
+since the run started) plus the transport's clock — virtual seconds
+under DES, wall seconds on pipes, the scheduler step count on
+loopback.  Policies that think in epochs keep their own marks and
+difference against them; the engine never resets anything.
+
+That cumulative-with-marks contract is what makes one policy work on
+every backend: a wall-clock transport cannot "reset" the engine's
+accumulators mid-run from another process, but it can always report
+monotone totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Protocol, Tuple, runtime_checkable
+
+
+@runtime_checkable
+class WindowPolicy(Protocol):
+    """Per-rank forward-window controller.
+
+    ``min_fw`` / ``max_fw`` bound every FW the policy may return (the
+    ``window-policy-bound`` invariant); :meth:`spawn` hands each rank a
+    private instance so marks never alias across ranks; :meth:`state`
+    exposes the mutable marks for model-checker fingerprints.
+    """
+
+    min_fw: int
+    max_fw: int
+
+    def spawn(self) -> "WindowPolicy":
+        """A fresh per-rank instance (policies may be stateful)."""
+        ...
+
+    def on_iteration(
+        self,
+        t: int,
+        *,
+        fw: int,
+        epoch_wait: float,
+        checks: int,
+        rejects: int,
+        now: float,
+    ) -> int:
+        """Observe iteration ``t``'s completion; return the next FW.
+
+        All counters are cumulative since the run started; ``now`` is
+        the transport's clock at the ``IterationDone`` boundary.
+        """
+        ...
+
+    def state(self) -> Tuple[float, ...]:
+        """Hashable snapshot of the policy's mutable marks."""
+        ...
+
+
+@dataclass(frozen=True)
+class StaticWindow:
+    """The identity policy: the window never moves.
+
+    A run with ``StaticWindow(fw)`` is effect-for-effect identical to
+    a plain fixed-FW run — the policy returns the current FW verbatim,
+    so the engine never emits ``WindowChanged``.
+    """
+
+    fw: int
+
+    def __post_init__(self) -> None:
+        if self.fw < 0:
+            raise ValueError("fw must be >= 0")
+
+    @property
+    def min_fw(self) -> int:
+        return self.fw
+
+    @property
+    def max_fw(self) -> int:
+        return self.fw
+
+    def spawn(self) -> "StaticWindow":
+        return self  # immutable: safe to share across ranks
+
+    def on_iteration(
+        self,
+        t: int,
+        *,
+        fw: int,
+        epoch_wait: float,
+        checks: int,
+        rejects: int,
+        now: float,
+    ) -> int:
+        return self.fw
+
+    def state(self) -> Tuple[float, ...]:
+        return ()
+
+
+@dataclass
+class AimdWindow:
+    """The AIMD forward-window controller (per rank).
+
+    Every ``epoch`` iterations, decide from two observable signals:
+
+    * **waiting time** — seconds blocked in window waits this epoch.
+      Waiting means the window is too small to absorb current delays
+      → widen by one (additive increase), provided rejections stayed
+      below ``reject_low``.
+    * **rejection rate** — fraction of this epoch's checks rejected.
+      Deep windows speculate across larger gaps; above
+      ``reject_high`` the gap² error growth makes speculation a net
+      loss → shrink by one.
+
+    Parameters are exactly ``AdaptivePolicy``'s (the deprecated
+    driver-level surface now constructs one of these).  Marks are
+    private per-instance state; the engine spawns one policy per rank
+    so ranks adapt independently.
+    """
+
+    epoch: int = 4
+    min_fw: int = 0
+    max_fw: int = 4
+    wait_fraction: float = 0.05
+    reject_low: float = 0.10
+    reject_high: float = 0.35
+
+    # Epoch marks: the cumulative signals as of the last decision.
+    _mark_time: float = field(default=0.0, init=False, repr=False)
+    _mark_wait: float = field(default=0.0, init=False, repr=False)
+    _mark_checks: int = field(default=0, init=False, repr=False)
+    _mark_rejects: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.epoch < 1:
+            raise ValueError("epoch must be >= 1")
+        if not 0 <= self.min_fw <= self.max_fw:
+            raise ValueError("need 0 <= min_fw <= max_fw")
+        if not 0 <= self.wait_fraction:
+            raise ValueError("wait_fraction must be >= 0")
+        if not 0 <= self.reject_low <= self.reject_high <= 1:
+            raise ValueError("need 0 <= reject_low <= reject_high <= 1")
+
+    def spawn(self) -> "AimdWindow":
+        return replace(self)  # fresh marks, same parameters
+
+    def on_iteration(
+        self,
+        t: int,
+        *,
+        fw: int,
+        epoch_wait: float,
+        checks: int,
+        rejects: int,
+        now: float,
+    ) -> int:
+        if (t + 1) % self.epoch != 0:
+            return fw
+
+        span = now - self._mark_time
+        d_checks = checks - self._mark_checks
+        d_rejects = rejects - self._mark_rejects
+        wait = epoch_wait - self._mark_wait
+        reject_rate = d_rejects / d_checks if d_checks else 0.0
+
+        new_fw = fw
+        if reject_rate > self.reject_high and fw > self.min_fw:
+            new_fw = fw - 1
+        elif (
+            span > 0
+            and wait > self.wait_fraction * span
+            and reject_rate < self.reject_low
+            and fw < self.max_fw
+        ):
+            new_fw = fw + 1
+
+        self._mark_time = now
+        self._mark_wait = epoch_wait
+        self._mark_checks = checks
+        self._mark_rejects = rejects
+        return new_fw
+
+    def state(self) -> Tuple[float, ...]:
+        return (
+            self._mark_time,
+            self._mark_wait,
+            float(self._mark_checks),
+            float(self._mark_rejects),
+        )

@@ -38,6 +38,7 @@ EVENT_KINDS = (
     "verify",     # speculated input checked vs actual    (peer = src)
     "correct",    # rejected speculation repaired         (peer = src)
     "compute",    # one iteration's compute step entered  (peer = None)
+    "window",     # window policy moved the rank's FW     (peer = new FW)
 )
 
 

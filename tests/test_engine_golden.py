@@ -78,6 +78,29 @@ def test_nbody_matches_pre_refactor_driver(case, fw):
     assert summarize(res) == GOLDEN[case]
 
 
+def test_nbody_adaptive_matches_pinned_trajectory():
+    """The p=4 jittered DES adaptive run is bit-stable: virtual time is
+    deterministic, so every rank's WindowChanged trajectory (and the
+    stats it steers) must reproduce the pinned golden exactly."""
+    from repro.harness import run_nbody
+    from repro.policy import AimdWindow
+
+    _, res = run_nbody(
+        4, 1,
+        config={"n_particles": 120, "iterations": 12},
+        window_policy=AimdWindow(epoch=2, min_fw=0, max_fw=3),
+    )
+    doc = summarize(res)
+    doc["window_history"] = [
+        [[int(t), int(fw)] for t, fw in history]
+        for history in res.window_history
+    ]
+    doc["final_windows"] = res.final_windows()
+    assert doc == GOLDEN["nbody_adaptive"]
+    # The trajectory is only interesting if adaptation actually fired.
+    assert any(len(h) > 1 for h in res.window_history)
+
+
 # ---------------------------------------------- the --check drift guard
 def _load_capture_golden_module():
     import importlib.util
@@ -109,7 +132,7 @@ def test_check_mode_drift_report():
 
 def test_check_mode_golden_file_matches_capture_layout():
     """The pinned file and the capture script agree on the case set, so
-    --check diffs the same seven scenarios this suite replays."""
+    --check diffs the same eight scenarios this suite replays."""
     mod = _load_capture_golden_module()
     assert mod.DEFAULT_GOLDEN.resolve() == (
         pathlib.Path(__file__).resolve().parent / "golden"
@@ -118,10 +141,12 @@ def test_check_mode_golden_file_matches_capture_layout():
     assert set(GOLDEN) == {
         "jacobi_fw0", "jacobi_fw1_recompute", "jacobi_fw2_recompute",
         "jacobi_fw2_none", "nbody_fw0", "nbody_fw1", "nbody_fw2",
+        "nbody_adaptive",
     }
-    for case in GOLDEN.values():
-        assert set(case) == {
-            "makespan", "iterations", "fw", "final_digest", "stats"
-        }
+    for name, case in GOLDEN.items():
+        expected = {"makespan", "iterations", "fw", "final_digest", "stats"}
+        if name == "nbody_adaptive":
+            expected |= {"window_history", "final_windows"}
+        assert set(case) == expected
         for stat in case["stats"]:
             assert set(stat) == set(STAT_FIELDS)
