@@ -1,14 +1,14 @@
 """Benchmark snapshot: fig8 sweep + table2 phases + adaptive-vs-fixed.
 
 Runs the headline measured experiments and writes a machine-readable
-snapshot to ``BENCH_PR8.json`` at the repo root, so successive PRs can
+snapshot to ``BENCH_PR9.json`` at the repo root, so successive PRs can
 diff the performance trajectory instead of eyeballing tables.
 
-Schema (``BENCH_PR8.json``)::
+Schema (``BENCH_PR9.json``)::
 
     {
       "schema": "bench-snapshot/v1",
-      "label": "PR8",                  # --label
+      "label": "PR9",                  # --label
       "quick": false,                  # --quick used?
       "config": {                      # overrides applied to HEADLINE
         "n_particles": 1000, "iterations": 20, "ps": [1, 2, ...]
@@ -58,7 +58,7 @@ from repro.harness.experiments import (
 from repro.policy import AimdWindow
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_OUT = REPO_ROOT / "BENCH_PR8.json"
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR9.json"
 
 #: Processor counts for the fig8 sweep (full vs --quick).
 FULL_PS = (1, 2, 4, 6, 8, 10, 12, 14, 16)
@@ -105,7 +105,7 @@ def adaptive_vs_fixed(ps, config=None) -> dict:
     }
 
 
-def snapshot(quick: bool = False, label: str = "PR8") -> dict:
+def snapshot(quick: bool = False, label: str = "PR9") -> dict:
     """Run the experiments and assemble the schema-v1 document."""
     if quick:
         config = {"n_particles": 120, "iterations": 5}
@@ -163,8 +163,8 @@ def main(argv=None) -> int:
         help="shrunk sweep (120 particles, 5 iterations, p <= 4) for CI smoke",
     )
     parser.add_argument(
-        "--label", default="PR8",
-        help="snapshot label recorded in the document (default: PR8)",
+        "--label", default="PR9",
+        help="snapshot label recorded in the document (default: PR9)",
     )
     args = parser.parse_args(argv)
 

@@ -34,16 +34,25 @@ Two complementary halves:
   legitimate confirmation sites, and ``repro taint --trace`` judges
   findings against a recorded event log.
 
+* :mod:`repro.analysis.bounds` — the memory half (rules
+  SPB401..SPB408): interprocedural buffer summaries over the same
+  call graph proving every container the protocol grows is bounded by
+  a protocol parameter (BW for history, FW for run-ahead state), and
+  ``repro bounds --trace`` checks the derived symbolic occupancy
+  bounds against a recorded event log's observed maxima.
+
 Entry points: ``repro lint [paths] [--format json]
 [--sanitize-selftest]``, ``repro analyze [paths] [--format
 text|json|sarif] [--trace LOG]``, ``repro perf-lint [paths] ...``,
-``repro taint [paths] ...`` and the umbrella ``repro check [paths]
-[--sarif FILE]`` running all four families over one shared parse
+``repro taint [paths] ...``, ``repro bounds [paths] ...`` and the
+umbrella ``repro check [paths] [--sarif FILE] [--stats]`` running all
+five families over one shared parse
 (:class:`~repro.analysis.program.ProgramIndex`).
 """
 
 from repro.analysis.diagnostics import (
     RULES,
+    SPB_RULES,
     SPF_RULES,
     SPP_RULES,
     SPT_RULES,
@@ -52,6 +61,7 @@ from repro.analysis.diagnostics import (
     RuleInfo,
     Severity,
     all_rule_codes,
+    all_spb_codes,
     all_spf_codes,
     all_spp_codes,
     all_spt_codes,
@@ -82,11 +92,12 @@ from repro.analysis.sarif import (
 )
 from repro.analysis.specflow import analyze_paths, analyze_source
 
-# Imported for the side effect of registering the SPP and SPT rule
-# catalogues, so the shared reporters' rule listing is import-order
-# independent.
+# Imported for the side effect of registering the SPP, SPT and SPB
+# rule catalogues, so the shared reporters' rule listing is
+# import-order independent.
 from repro.analysis.perf import rules as _spp_rules  # noqa: F401
 from repro.analysis.taint import rules as _spt_rules  # noqa: F401
+from repro.analysis.bounds import rules as _spb_rules  # noqa: F401
 from repro.analysis.sanitizer import (
     ENV_FLAG,
     ProtocolSanitizer,
@@ -98,6 +109,7 @@ from repro.analysis.sanitizer import (
 
 __all__ = [
     "RULES",
+    "SPB_RULES",
     "SPF_RULES",
     "SPP_RULES",
     "SPT_RULES",
@@ -107,6 +119,7 @@ __all__ = [
     "RuleInfo",
     "Severity",
     "all_rule_codes",
+    "all_spb_codes",
     "all_spf_codes",
     "all_spp_codes",
     "all_spt_codes",

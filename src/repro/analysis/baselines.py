@@ -39,7 +39,7 @@ DEFAULT_BASELINES = Path(".speclint/baselines.json")
 SCHEMA_VERSION = 2
 
 #: Every analysis family that may hold an accepted set.
-TOOLS = ("speclint", "specflow", "specperf", "spectaint")
+TOOLS = ("speclint", "specflow", "specperf", "spectaint", "specbound")
 
 
 def legacy_baseline_path(tool: str, directory: Path | None = None) -> Path:

@@ -1,0 +1,257 @@
+"""Occupancy contracts: symbolic bounds vs a recorded trace.
+
+The differential half of specbound, in the specperf cost-contract
+mold: a static bound is a *claim* about run-time occupancy, and a
+recorded :class:`~repro.trace.events.EventLog` is evidence for or
+against it.  For each contract we compute the observed maximum from
+the trace and evaluate the matching symbolic bound
+(:mod:`repro.analysis.bounds.symbolic`) at the run's ``(p, fw, bw)``:
+
+* **history-ring** (per rank) — entries the rank's per-source history
+  must retain: the gap between its most-advanced channel and the
+  verified horizon (the oldest iteration a cascade may still re-read),
+  checked against the engine's ring capacity ``max(bw, 2) + 2``;
+* **inbox** (per rank) — undelivered messages per source channel
+  (sends observed minus recvs, per tag family so barrier traffic does
+  not pollute the data channel), checked against ``fw + 1``;
+* **in-flight** (per rank) — a rank's outstanding sends across all
+  peers, checked against ``(p - 1) * (fw + 1)``;
+* **cascade** (run) — longest consecutive run of ``correct`` events on
+  any rank, checked against ``max(fw, 1)``;
+* **events** (run) — total trace size, checked against the linear
+  envelope ``p * iters * (...)``.
+
+Verdicts are **CONFIRMED** (observed within the bound), **REFUTED**
+(the run outgrew the bound — a protocol-window or transport bug), or
+**UNOBSERVED** (the trace has no events of that metric).  Determinism:
+the DES is seeded, so a recorded trace — and every verdict — is
+byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.bounds.symbolic import (
+    Expr,
+    cascade_bound,
+    event_count_bound,
+    history_ring_bound,
+    inbox_bound,
+    inflight_bound,
+)
+from repro.trace.events import EventLog, TraceEvent
+
+#: Verdict labels (string constants shared with the reporters/tests).
+CONFIRMED = "confirmed"
+REFUTED = "refuted"
+UNOBSERVED = "unobserved"
+
+#: metric name -> its symbolic bound.
+OCCUPANCY_BOUNDS: dict[str, Expr] = {
+    "history-ring": history_ring_bound(),
+    "inbox": inbox_bound(),
+    "in-flight": inflight_bound(),
+    "cascade": cascade_bound(),
+    "events": event_count_bound(),
+}
+
+
+@dataclass(frozen=True, order=True)
+class OccupancyVerdict:
+    """One occupancy bound judged against a trace."""
+
+    metric: str
+    scope: str  # "rank 3" or "run"
+    observed: int
+    bound: int
+    expr: str  # rendered symbolic bound
+    status: str
+
+    def format_text(self) -> str:
+        """``occupancy-contract inbox [rank 0]: CONFIRMED ...`` (one line)."""
+        return (
+            f"occupancy-contract {self.metric} [{self.scope}]: "
+            f"{self.status.upper()} — observed {self.observed} vs "
+            f"bound {self.bound} = {self.expr}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "metric": self.metric,
+            "scope": self.scope,
+            "observed": self.observed,
+            "bound": self.bound,
+            "expr": self.expr,
+            "status": self.status,
+        }
+
+
+def _time_ordered(log: EventLog) -> list[TraceEvent]:
+    """Global replay order: by time, sends before the recvs they feed."""
+    kind_rank = {"send": 0}
+    return sorted(
+        log.events,
+        key=lambda ev: (ev.time, kind_rank.get(ev.kind, 1), ev.rank, ev.seq),
+    )
+
+
+def observed_ring_spans(log: EventLog) -> dict[int, int]:
+    """Per rank: the widest history span its rings had to retain.
+
+    Tracks the newest iteration received per channel; the rank's
+    verified horizon is the slowest channel's newest iteration, and a
+    cascade may re-read one entry below it, so the fast channel's ring
+    must span ``newest - horizon + 2`` entries (the initial condition
+    counts as iteration 0).
+    """
+    newest: dict[int, dict[int, int]] = {}
+    spans: dict[int, int] = {}
+    for ev in _time_ordered(log):
+        if ev.kind != "recv" or ev.peer is None or ev.iteration is None:
+            continue
+        chans = newest.setdefault(ev.rank, {})
+        chans[ev.peer] = max(chans.get(ev.peer, 0), ev.iteration)
+        span = max(chans.values()) - min(chans.values()) + 2
+        spans[ev.rank] = max(spans.get(ev.rank, 0), span)
+    return spans
+
+
+def observed_inbox_depths(log: EventLog) -> dict[int, int]:
+    """Per rank: the deepest any single (source, family) channel got.
+
+    Outstanding = sends addressed to the rank minus its recvs, counted
+    per source *and* per tag family so one barrier message does not
+    inflate the data channel's depth.
+    """
+    outstanding: dict[tuple[int, int, Optional[str]], int] = {}
+    depths: dict[int, int] = {}
+    for ev in _time_ordered(log):
+        if ev.peer is None:
+            continue
+        if ev.kind == "send":
+            chan = (ev.peer, ev.rank, ev.family)
+        elif ev.kind == "recv":
+            chan = (ev.rank, ev.peer, ev.family)
+        else:
+            continue
+        delta = 1 if ev.kind == "send" else -1
+        outstanding[chan] = max(0, outstanding.get(chan, 0) + delta)
+        depths[chan[0]] = max(depths.get(chan[0], 0), outstanding[chan])
+    return depths
+
+
+def observed_inflight_sends(log: EventLog) -> dict[int, int]:
+    """Per rank: its maximum outstanding sends, summed over peers.
+
+    Like :func:`observed_inbox_depths` but attributed to the *sender*:
+    within one tag family, how many of the rank's messages were in the
+    pipe (or parked in a peer inbox) at once.
+    """
+    outstanding: dict[tuple[int, Optional[str], int], int] = {}
+    peak: dict[int, int] = {}
+    for ev in _time_ordered(log):
+        if ev.peer is None:
+            continue
+        if ev.kind == "send":
+            src, dst = ev.rank, ev.peer
+        elif ev.kind == "recv":
+            src, dst = ev.peer, ev.rank
+        else:
+            continue
+        delta = 1 if ev.kind == "send" else -1
+        chan = (src, ev.family, dst)
+        outstanding[chan] = max(0, outstanding.get(chan, 0) + delta)
+        total = sum(
+            n for (s, fam, _d), n in outstanding.items()
+            if s == src and fam == ev.family
+        )
+        peak[src] = max(peak.get(src, 0), total)
+    return peak
+
+
+def observed_cascade_depth(log: EventLog) -> Optional[int]:
+    """Longest consecutive run of ``correct`` events on any rank.
+
+    The engine emits one ``correct`` per repaired iteration and a
+    cascade repairs consecutive iterations back-to-back, so the run
+    length in per-rank program order is the cascade depth.  ``None``
+    when the trace contains no corrections.
+    """
+    best: Optional[int] = None
+    for rank in log.ranks():
+        run = 0
+        for ev in log.for_rank(rank):
+            if ev.kind == "correct":
+                run += 1
+                best = run if best is None else max(best, run)
+            else:
+                run = 0
+    return best
+
+
+def inferred_iterations(log: EventLog) -> Optional[int]:
+    """Iteration count implied by the trace (max tagged iteration + 1)."""
+    tagged = [ev.iteration for ev in log.events if ev.iteration is not None]
+    if not tagged:
+        return None
+    return max(tagged) + 1
+
+
+def check_occupancy(
+    log: EventLog,
+    p: Optional[int] = None,
+    fw: int = 1,
+    bw: int = 2,
+    iters: Optional[int] = None,
+) -> list[OccupancyVerdict]:
+    """Judge every occupancy bound against the trace.
+
+    ``p`` defaults to the number of ranks in the trace and ``iters``
+    to the largest tagged iteration; ``fw``/``bw`` must come from the
+    run's configuration (they are not recorded per event).
+    """
+    ranks = log.ranks()
+    p_eff = p if p is not None else max(1, len(ranks))
+    iters_eff = iters if iters is not None else inferred_iterations(log)
+    env = {"p": p_eff, "fw": fw, "bw": bw, "iters": iters_eff or 0}
+
+    def verdict(metric: str, scope: str, observed: Optional[int]) -> OccupancyVerdict:
+        expr = OCCUPANCY_BOUNDS[metric]
+        bound = expr.evaluate(env)
+        if observed is None:
+            status = UNOBSERVED
+            observed = 0
+        elif observed <= bound:
+            status = CONFIRMED
+        else:
+            status = REFUTED
+        return OccupancyVerdict(
+            metric=metric,
+            scope=scope,
+            observed=observed,
+            bound=bound,
+            expr=expr.render(),
+            status=status,
+        )
+
+    verdicts: list[OccupancyVerdict] = []
+    spans = observed_ring_spans(log)
+    depths = observed_inbox_depths(log)
+    inflight = observed_inflight_sends(log)
+    for rank in ranks:
+        verdicts.append(verdict("history-ring", f"rank {rank}", spans.get(rank)))
+        verdicts.append(verdict("inbox", f"rank {rank}", depths.get(rank)))
+        verdicts.append(verdict("in-flight", f"rank {rank}", inflight.get(rank)))
+    verdicts.append(verdict("cascade", "run", observed_cascade_depth(log)))
+    if iters_eff is None:
+        verdicts.append(verdict("events", "run", None))
+    else:
+        verdicts.append(verdict("events", "run", len(log.events)))
+    return sorted(verdicts)
+
+
+def iter_verdict_dicts(verdicts: list[OccupancyVerdict]) -> list[dict[str, object]]:
+    """JSON-ready verdict records (stable order)."""
+    return [v.to_dict() for v in sorted(verdicts)]

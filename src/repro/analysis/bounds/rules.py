@@ -1,0 +1,538 @@
+"""The SPB401..SPB408 speculation-resource bound rules.
+
+Each rule flags one way a protocol buffer can outgrow the parameter
+that is supposed to bound it (BW for history, FW for run-ahead state,
+p for per-peer fan-out).  The phase attribution scopes most checks —
+an unbounded list in a test helper is silent, the same list on the
+receive path is a finding — and the buffer summaries
+(:mod:`repro.analysis.bounds.summaries`) make the append/trim pairing
+interprocedural.
+
+=======  ==========================================================
+SPB401   unbounded append-in-loop on a protocol-reachable buffer
+SPB402   history trim uses a literal instead of the BW/FW parameter
+SPB403   bare ``deque()`` without ``maxlen`` where a ring is expected
+SPB404   recv-side inbox grows without a drain pairing the append
+SPB405   window widening without a ``max_fw`` clamp
+SPB406   unbounded trace/event buffer in long-running protocol code
+SPB407   cascade correction loop without an FW-derived depth guard
+SPB408   dict keyed by iteration number without eviction
+=======  ==========================================================
+
+Heuristic rules are warnings, unambiguous growth is an error, and the
+messages say which parameter should appear in the bound.  Findings are
+plain ``Diagnostic`` records; ``# specbound: disable=SPB406``
+suppressions work exactly as for the other four families.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Iterator, Optional
+
+from repro.analysis.bounds.summaries import (
+    BufferSummary,
+    Key,
+    iter_allocations,
+    iter_append_sites,
+    module_trims,
+    trimmed_tokens,
+)
+from repro.analysis.cfg import CallGraph, FunctionNode, ModuleGraphs
+from repro.analysis.diagnostics import Diagnostic, Severity, register_spb_rule
+from repro.analysis.perf.attribution import (
+    Attribution,
+    call_name,
+    terminal_name,
+    walk_function,
+)
+
+#: Buffer tokens treated as trace/event logs (SPB406's domain; SPB401
+#: leaves them alone so one append site yields one finding).
+EVENT_BUFFER_TOKENS = frozenset(
+    {"events", "records", "log", "trace", "samples", "intervals"}
+)
+
+#: Buffer tokens treated as per-source message inboxes (SPB404).
+INBOX_TOKENS = frozenset(
+    {"inbox", "_inbox", "pending", "backlog", "mailbox", "_mailboxes",
+     "queue", "_queue"}
+)
+
+#: Buffer tokens treated as speculation history (SPB402/SPB403).
+HISTORY_TOKENS = frozenset(
+    {"history", "hist", "ring", "chain", "window", "recent", "samples"}
+)
+
+#: Names that make a loop bound window-derived (SPB407's guard).
+GUARD_TOKENS = frozenset(
+    {"frontier", "fw", "forward", "window", "horizon", "bound", "depth"}
+)
+
+#: Loop/index names that look like an iteration number (SPB408).
+ITERATION_NAMES = frozenset({"t", "t2", "iteration", "iter_no", "step"})
+
+LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+register_spb_rule(
+    "SPB401", "unbounded-append-in-loop", Severity.ERROR,
+    "protocol-reachable buffer appended to in a loop with no trim "
+    "anywhere in its module (directly or via a callee)",
+)
+register_spb_rule(
+    "SPB402", "literal-history-trim", Severity.WARNING,
+    "history trim uses an integer literal instead of the BW/FW "
+    "parameter that should bound it",
+)
+register_spb_rule(
+    "SPB403", "bare-deque-ring", Severity.WARNING,
+    "ring-like deque allocated without maxlen (history must be "
+    "capped by the backward window)",
+)
+register_spb_rule(
+    "SPB404", "ungated-inbox-growth", Severity.ERROR,
+    "recv-side inbox appended to with no drain in its module "
+    "(run-ahead is only bounded when delivery consumes the inbox)",
+)
+register_spb_rule(
+    "SPB405", "unclamped-window-widening", Severity.WARNING,
+    "window policy widens fw without a max_fw clamp, so pending "
+    "speculation state is unbounded",
+)
+register_spb_rule(
+    "SPB406", "unbounded-event-buffer", Severity.WARNING,
+    "trace/event buffer on a protocol path grows with run length "
+    "(no max_events cap or consumption trim)",
+)
+register_spb_rule(
+    "SPB407", "unguarded-cascade-loop", Severity.WARNING,
+    "cascade correction loop bound is not derived from the forward "
+    "window / frontier, so rollback depth is unbounded",
+)
+register_spb_rule(
+    "SPB408", "iteration-keyed-dict", Severity.WARNING,
+    "dict keyed by iteration number never evicted (grows linearly "
+    "with run length)",
+)
+
+
+def _diag(
+    path: str, node: ast.AST, code: str, severity: Severity, message: str
+) -> Diagnostic:
+    return Diagnostic(
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        severity=severity,
+        message=message,
+    )
+
+
+def _walk_stmts(stmts: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Every AST node under ``stmts``, pruning nested function bodies."""
+    stack: list[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _loops_of(func: FunctionNode) -> list[ast.stmt]:
+    """All ``for``/``while`` loops of the function's own body."""
+    return [n for n in walk_function(func) if isinstance(n, LOOPS)]
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    """Every identifier (names + attribute components) under ``node``."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            out.add(sub.attr)
+    return out
+
+
+def _function_items(
+    module: ModuleGraphs, attribution: Attribution
+) -> Iterator[tuple[str, FunctionNode, frozenset[str], bool]]:
+    """(qualname, function node, phases, hot) per function."""
+    for qual in sorted(module.cfgs):
+        cfg = module.cfgs[qual]
+        key = (module.path, qual)
+        yield qual, cfg.func, attribution.phases_of(key), attribution.is_hot(key)
+
+
+class BoundContext:
+    """Shared per-run inputs every SPB checker receives.
+
+    Bundles the attribution (what is protocol-reachable), the call
+    graph (where the call sites resolve) and the buffer summaries
+    (which callees append/trim their parameters) so the rule pack
+    stays interprocedural without each rule recomputing the fixpoint.
+    """
+
+    def __init__(
+        self,
+        attribution: Attribution,
+        callgraph: Optional[CallGraph],
+        summaries: Optional[dict[Key, BufferSummary]],
+    ) -> None:
+        self.attribution = attribution
+        self.callgraph = callgraph
+        self.summaries = summaries
+
+
+# --------------------------------------------------------------------------
+# SPB401: unbounded append-in-loop on a protocol-reachable buffer
+# --------------------------------------------------------------------------
+
+
+def check_spb401(module: ModuleGraphs, ctx: BoundContext) -> Iterator[Diagnostic]:
+    trimmed_via_call = trimmed_tokens(module, ctx.callgraph, ctx.summaries)
+    for qual, func, phases, hot in _function_items(module, ctx.attribution):
+        if not phases and not hot:
+            continue
+        key = (module.path, qual)
+        for loop in _loops_of(func):
+            body: list[ast.stmt] = loop.body  # type: ignore[attr-defined]
+            for site in iter_append_sites(
+                body, key, ctx.callgraph, ctx.summaries
+            ):
+                if not site.buffer.startswith("self."):
+                    # A local accumulator lives for one call; only
+                    # state that persists across iterations can outgrow
+                    # the protocol parameters.
+                    continue
+                if site.token in EVENT_BUFFER_TOKENS:
+                    continue  # SPB406's domain
+                if module_trims(module, site.token):
+                    continue
+                if site.token in trimmed_via_call:
+                    continue
+                how = f" (via '{site.via}')" if site.via else ""
+                yield _diag(
+                    module.path, site.node, "SPB401", Severity.ERROR,
+                    f"'{qual}' grows buffer '{site.buffer}' in a loop"
+                    f"{how} and nothing in the module trims it; bound "
+                    "it with the protocol parameter that should cap it "
+                    "(BW for history, FW for run-ahead state)",
+                )
+
+
+# --------------------------------------------------------------------------
+# SPB402: history trim uses a literal instead of the BW/FW parameter
+# --------------------------------------------------------------------------
+
+
+def _history_token(expr: ast.AST) -> Optional[tuple[str, str]]:
+    """(display, token) when the expression reads a history-ish buffer."""
+    cur = expr
+    while isinstance(cur, ast.Subscript):
+        cur = cur.value
+    if isinstance(cur, ast.Name) and cur.id in HISTORY_TOKENS:
+        return cur.id, cur.id
+    if isinstance(cur, ast.Attribute) and cur.attr in HISTORY_TOKENS:
+        display = (
+            f"self.{cur.attr}"
+            if isinstance(cur.value, ast.Name) and cur.value.id == "self"
+            else cur.attr
+        )
+        return display, cur.attr
+    return None
+
+
+def _literal_tail_slice(node: ast.Subscript) -> Optional[int]:
+    """The N of a ``buf[-N:]`` / ``buf[:-N]`` trim with a literal N."""
+    sl = node.slice
+    if not isinstance(sl, ast.Slice):
+        return None
+    for edge in (sl.lower, sl.upper):
+        if (
+            isinstance(edge, ast.UnaryOp)
+            and isinstance(edge.op, ast.USub)
+            and isinstance(edge.operand, ast.Constant)
+            and isinstance(edge.operand.value, int)
+        ):
+            return int(edge.operand.value)
+    return None
+
+
+def check_spb402(module: ModuleGraphs, ctx: BoundContext) -> Iterator[Diagnostic]:
+    for qual, func, _phases, _hot in _function_items(module, ctx.attribution):
+        for node in walk_function(func):
+            named: Optional[tuple[str, str]] = None
+            n: Optional[int] = None
+            if isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        named = _history_token(target.value)
+                        n = _literal_tail_slice(target)
+            elif isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Subscript
+            ):
+                named = _history_token(node.value.value)
+                n = _literal_tail_slice(node.value)
+            if named is not None and n is not None:
+                yield _diag(
+                    module.path, node, "SPB402", Severity.WARNING,
+                    f"'{qual}' trims history buffer '{named[0]}' to a "
+                    f"literal {n}; derive the trim from the backward "
+                    "window (bw) so the retained history tracks the "
+                    "speculator's needs",
+                )
+
+
+# --------------------------------------------------------------------------
+# SPB403: bare deque() without maxlen where a ring is expected
+# --------------------------------------------------------------------------
+
+
+def check_spb403(module: ModuleGraphs, ctx: BoundContext) -> Iterator[Diagnostic]:
+    for qual, func, _phases, _hot in _function_items(module, ctx.attribution):
+        for alloc in iter_allocations(func):
+            if alloc.kind != "deque" or alloc.has_maxlen:
+                continue
+            ring_like = any(tok in alloc.token.lower() for tok in HISTORY_TOKENS)
+            if not ring_like:
+                continue
+            yield _diag(
+                module.path, alloc.node, "SPB403", Severity.WARNING,
+                f"'{qual}' allocates ring-like deque '{alloc.target}' "
+                "without maxlen; pass maxlen derived from the backward "
+                "window (e.g. deque(maxlen=bw)) so old history is "
+                "evicted automatically",
+            )
+
+
+# --------------------------------------------------------------------------
+# SPB404: recv-side inbox growth with no drain
+# --------------------------------------------------------------------------
+
+
+def _module_drains(module: ModuleGraphs, token: str) -> bool:
+    """Does the module ever consume (pop/del) buffer ``token``?"""
+    sub = r"(?:\[[^]\n]*\])?"
+    name = re.escape(token)
+    pattern = (
+        rf"\b{name}{sub}\.pop(?:left|item)?\b"
+        rf"|del\s+(?:self\.)?{name}\b"
+    )
+    return re.search(pattern, module.source) is not None
+
+
+def check_spb404(module: ModuleGraphs, ctx: BoundContext) -> Iterator[Diagnostic]:
+    for qual, func, phases, _hot in _function_items(module, ctx.attribution):
+        if "recv" not in phases:
+            continue
+        key = (module.path, qual)
+        for site in iter_append_sites(
+            list(func.body), key, ctx.callgraph, ctx.summaries
+        ):
+            if site.token not in INBOX_TOKENS:
+                continue
+            if _module_drains(module, site.token):
+                continue
+            yield _diag(
+                module.path, site.node, "SPB404", Severity.ERROR,
+                f"'{qual}' appends to inbox '{site.buffer}' on the "
+                "receive path but nothing drains it; the forward "
+                "window only bounds run-ahead when delivery consumes "
+                "the inbox (pop on delivery)",
+            )
+
+
+# --------------------------------------------------------------------------
+# SPB405: window widening without a max_fw clamp
+# --------------------------------------------------------------------------
+
+
+def _is_fw_name(expr: ast.AST) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.id == "fw"
+    if isinstance(expr, ast.Attribute):
+        return expr.attr == "fw"
+    return False
+
+
+def check_spb405(module: ModuleGraphs, ctx: BoundContext) -> Iterator[Diagnostic]:
+    for qual, func, _phases, _hot in _function_items(module, ctx.attribution):
+        seen: set[str] = set()
+        for node in walk_function(func):
+            seen |= _names_in(node)
+        if "max_fw" in seen or "min" in seen:
+            continue  # a clamp is in scope
+        for node in walk_function(func):
+            widens = (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Add)
+                and (
+                    (_is_fw_name(node.left)
+                     and isinstance(node.right, ast.Constant)
+                     and isinstance(node.right.value, int)
+                     and node.right.value > 0)
+                    or (_is_fw_name(node.right)
+                        and isinstance(node.left, ast.Constant)
+                        and isinstance(node.left.value, int)
+                        and node.left.value > 0)
+                )
+            )
+            if widens:
+                yield _diag(
+                    module.path, node, "SPB405", Severity.WARNING,
+                    f"'{qual}' widens the forward window (fw + const) "
+                    "with no max_fw clamp in scope; an unclamped "
+                    "window makes in-flight speculation state "
+                    "unbounded (cap with min(fw + 1, max_fw))",
+                )
+
+
+# --------------------------------------------------------------------------
+# SPB406: unbounded trace/event buffer in long-running protocol code
+# --------------------------------------------------------------------------
+
+
+def check_spb406(module: ModuleGraphs, ctx: BoundContext) -> Iterator[Diagnostic]:
+    for qual, func, phases, hot in _function_items(module, ctx.attribution):
+        if not phases and not hot:
+            continue
+        key = (module.path, qual)
+        for site in iter_append_sites(
+            list(func.body), key, None, None
+        ):
+            if site.token not in EVENT_BUFFER_TOKENS:
+                continue
+            if module_trims(module, site.token):
+                continue
+            yield _diag(
+                module.path, site.node, "SPB406", Severity.WARNING,
+                f"'{qual}' appends to trace buffer '{site.buffer}' on "
+                "a protocol path with no max_events cap or consumption "
+                "trim; in long-running mode the log grows without "
+                "bound — cap it (EventLog(max_events=...)) and count "
+                "drops",
+            )
+
+
+# --------------------------------------------------------------------------
+# SPB407: cascade correction loop without an FW-derived depth guard
+# --------------------------------------------------------------------------
+
+
+def _loop_guard_names(loop: ast.stmt) -> set[str]:
+    """Identifiers appearing in the loop's bound expression."""
+    if isinstance(loop, (ast.For, ast.AsyncFor)):
+        return _names_in(loop.iter)
+    if isinstance(loop, ast.While):
+        return _names_in(loop.test)
+    return set()
+
+
+def _open_ended(loop: ast.stmt) -> bool:
+    """Loops whose trip count is not tied to an existing collection.
+
+    ``for x in some_list`` iterates a finite structure and is bounded
+    by whatever bounds the structure; ``while ...`` and
+    ``for t in range(...)`` / ``itertools.count(...)`` manufacture
+    their own trip count and need a window-derived guard.
+    """
+    if isinstance(loop, ast.While):
+        return True
+    if isinstance(loop, (ast.For, ast.AsyncFor)) and isinstance(
+        loop.iter, ast.Call
+    ):
+        return call_name(loop.iter) in {"range", "count"}
+    return False
+
+
+def check_spb407(module: ModuleGraphs, ctx: BoundContext) -> Iterator[Diagnostic]:
+    for qual, func, phases, _hot in _function_items(module, ctx.attribution):
+        if "cascade" not in terminal_name(qual).lower():
+            continue
+        if "correct" not in phases:
+            continue  # analysis/reporting helpers, not the protocol
+        for loop in _loops_of(func):
+            if not _open_ended(loop):
+                continue
+            guard = {n.lower() for n in _loop_guard_names(loop)}
+            if any(tok in name for name in guard for tok in GUARD_TOKENS):
+                continue
+            yield _diag(
+                module.path, loop, "SPB407", Severity.WARNING,
+                f"cascade loop in '{qual}' has no FW-derived depth "
+                "guard (bound not expressed in frontier/fw); a "
+                "correction cascade must terminate within the forward "
+                "window or rollback work is unbounded",
+            )
+
+
+# --------------------------------------------------------------------------
+# SPB408: dict keyed by iteration number without eviction
+# --------------------------------------------------------------------------
+
+
+def _iteration_key_name(index: ast.expr) -> Optional[str]:
+    """The iteration-ish name an index expression is keyed by."""
+    candidates: list[ast.expr] = [index]
+    if isinstance(index, ast.Tuple):
+        candidates = list(index.elts)
+    for cand in candidates:
+        for node in ast.walk(cand):
+            if isinstance(node, ast.Name) and node.id in ITERATION_NAMES:
+                return node.id
+    return None
+
+
+def check_spb408(module: ModuleGraphs, ctx: BoundContext) -> Iterator[Diagnostic]:
+    for qual, func, phases, _hot in _function_items(module, ctx.attribution):
+        if not phases:
+            continue
+        for node in walk_function(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                named = None
+                base = target.value
+                if (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"
+                ):
+                    named = (f"self.{base.attr}", base.attr)
+                elif isinstance(base, ast.Name):
+                    named = (base.id, base.id)
+                if named is None:
+                    continue
+                key_name = _iteration_key_name(target.slice)
+                if key_name is None:
+                    continue
+                if _module_drains(module, named[1]):
+                    continue
+                yield _diag(
+                    module.path, node, "SPB408", Severity.WARNING,
+                    f"'{qual}' stores into '{named[0]}' keyed by "
+                    f"iteration '{key_name}' and nothing in the module "
+                    "evicts old keys; prune entries below the verified "
+                    "horizon or the map grows with run length",
+                )
+
+
+#: code -> checker, the pack the driver iterates.
+RULE_CHECKERS: dict[
+    str, Callable[[ModuleGraphs, BoundContext], Iterator[Diagnostic]]
+] = {
+    "SPB401": check_spb401,
+    "SPB402": check_spb402,
+    "SPB403": check_spb403,
+    "SPB404": check_spb404,
+    "SPB405": check_spb405,
+    "SPB406": check_spb406,
+    "SPB407": check_spb407,
+    "SPB408": check_spb408,
+}

@@ -1,0 +1,98 @@
+"""specbound driver: buffer summaries + the SPB rule pack over many files.
+
+Shaped exactly like :mod:`repro.analysis.perf.specperf`: build every
+module's CFGs, one shared call graph, the phase attribution and the
+buffer summaries, then run the SPB401..SPB408 checkers per module.
+Findings are ordinary :class:`~repro.analysis.diagnostics.Diagnostic`
+records, so the shared reporters, the SARIF writer, the fingerprint
+baselines and the ``# specbound: disable=...`` suppression directives
+all behave exactly as they do for the other four families.
+
+Entry point: :func:`analyze_paths` (what ``repro bounds`` calls).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.bounds.rules import RULE_CHECKERS, BoundContext
+from repro.analysis.bounds.summaries import compute_buffer_summaries
+from repro.analysis.cfg import CallGraph, ModuleGraphs
+from repro.analysis.diagnostics import SPB_RULES, Diagnostic
+from repro.analysis.linter import drop_suppressed, iter_python_files
+from repro.analysis.perf.attribution import build_attribution
+from repro.analysis.program import syntax_diagnostic
+
+
+def analyze_modules(
+    modules: list[ModuleGraphs],
+    select: Optional[Iterable[str]] = None,
+    callgraph: Optional[CallGraph] = None,
+) -> list[Diagnostic]:
+    """Run every SPB rule over pre-built module graphs.
+
+    ``callgraph`` lets the umbrella ``repro check`` pass its shared
+    :class:`~repro.analysis.program.ProgramIndex` graph instead of
+    rebuilding one for the attribution and the buffer summaries.
+    """
+    wanted = {c.upper() for c in select} if select is not None else None
+
+    def on(code: str) -> bool:
+        return wanted is None or code in wanted
+
+    graph = callgraph if callgraph is not None else CallGraph(modules)
+    ctx = BoundContext(
+        attribution=build_attribution(graph),
+        callgraph=graph,
+        summaries=compute_buffer_summaries(graph),
+    )
+    found: list[Diagnostic] = []
+    for module in modules:
+        for code, checker in sorted(RULE_CHECKERS.items()):
+            if on(code):
+                found.extend(checker(module, ctx))
+    sources = {m.path: m.source for m in modules}
+    # A node nested in several loops is visited once per enclosing
+    # loop; identical findings collapse to one.
+    return sorted(set(drop_suppressed(found, sources)))
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Analyse one source text (testing convenience)."""
+    try:
+        module = ModuleGraphs.from_source(source, path=path)
+    except SyntaxError as exc:
+        return [syntax_diagnostic(path, exc, "SPB000")]
+    return analyze_modules([module], select=select)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    select: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Analyse every ``.py`` file under ``paths`` as one program.
+
+    One shared call graph means both the attribution and the buffer
+    summaries are interprocedural: a helper that appends to its
+    parameter makes its caller's call site an append site.  Unparseable
+    files each yield an ``SPB000`` diagnostic instead of aborting.
+    """
+    modules: list[ModuleGraphs] = []
+    syntax_errors: list[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            modules.append(ModuleGraphs.from_source(source, path=str(file_path)))
+        except SyntaxError as exc:
+            syntax_errors.append(syntax_diagnostic(str(file_path), exc, "SPB000"))
+    return sorted(syntax_errors + analyze_modules(modules, select=select))
+
+
+def rule_catalogue() -> dict[str, str]:
+    """``code -> summary`` for every registered SPB rule (docs/CLI)."""
+    return {code: SPB_RULES[code].summary for code in sorted(SPB_RULES)}

@@ -1,0 +1,269 @@
+"""Symbolic resource bounds over the protocol parameters.
+
+Every buffer the speculative protocol grows is supposed to be bounded
+by a *parameter* of the run, not by its length: the backward window BW
+caps history, the forward window FW caps run-ahead (and therefore
+in-flight messages, inbox depth and cascade work), and the processor
+count p multiplies the per-peer bounds.  specbound states those bounds
+as tiny symbolic expressions over ``(p, fw, bw, iters)`` so that
+
+* the rules (:mod:`repro.analysis.bounds.rules`) can talk about bounds
+  without picking a concrete configuration, and
+* the occupancy contracts (:mod:`repro.analysis.bounds.contracts`) can
+  *evaluate* the same expression at a recorded run's ``(p, FW, BW)``
+  and compare it against the observed maxima.
+
+The expression language is deliberately small — constants, parameters,
+``+``, ``*`` and ``max`` — because every bound the protocol needs is
+(piecewise-)linear in the parameters.  Expressions are frozen
+dataclasses: hashable, comparable, and ``substitute``/``evaluate``
+round-trip exactly (property-tested in ``tests/test_specbound.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+__all__ = [
+    "PARAMS",
+    "Add",
+    "Const",
+    "Expr",
+    "Max",
+    "Mul",
+    "Param",
+    "cascade_bound",
+    "event_count_bound",
+    "history_ring_bound",
+    "inbox_bound",
+    "inflight_bound",
+]
+
+#: The protocol parameters an expression may mention.
+PARAMS = ("p", "fw", "bw", "iters")
+
+ExprLike = Union["Expr", int]
+
+
+def _coerce(value: ExprLike) -> "Expr":
+    return Const(value) if isinstance(value, int) else value
+
+
+class Expr:
+    """Base class: a closed expression over :data:`PARAMS`."""
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """The expression's value with every parameter bound by ``env``."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> "Expr":
+        """A copy with the named parameters replaced (others kept)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def params(self) -> frozenset[str]:
+        """The parameter names the expression mentions."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def render(self) -> str:
+        """Human-readable form, e.g. ``max(bw, 2) + 2``."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Add((self, _coerce(other)))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Add((_coerce(other), self))
+
+    def __sub__(self, other: int) -> "Expr":
+        return Add((self, Const(-other)))
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Mul((self, _coerce(other)))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Mul((_coerce(other), self))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> Expr:
+        return self
+
+    def params(self) -> frozenset[str]:
+        return frozenset()
+
+    def render(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """One of the protocol parameters (:data:`PARAMS`)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in PARAMS:
+            raise ValueError(f"unknown protocol parameter {self.name!r}")
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        if self.name not in env:
+            raise KeyError(f"parameter {self.name!r} is unbound")
+        return int(env[self.name])
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> Expr:
+        if self.name in env:
+            return _coerce(env[self.name])
+        return self
+
+    def params(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    """Sum of terms."""
+
+    terms: tuple[Expr, ...]
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return sum(t.evaluate(env) for t in self.terms)
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> Expr:
+        return Add(tuple(t.substitute(env) for t in self.terms))
+
+    def params(self) -> frozenset[str]:
+        return frozenset().union(*(t.params() for t in self.terms))
+
+    def render(self) -> str:
+        parts: list[str] = []
+        for term in self.terms:
+            text = term.render()
+            if parts and isinstance(term, Const) and term.value < 0:
+                parts.append(f"- {-term.value}")
+            elif parts:
+                parts.append(f"+ {text}")
+            else:
+                parts.append(text)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    """Product of factors (sums are parenthesised when rendered)."""
+
+    factors: tuple[Expr, ...]
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        out = 1
+        for f in self.factors:
+            out *= f.evaluate(env)
+        return out
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> Expr:
+        return Mul(tuple(f.substitute(env) for f in self.factors))
+
+    def params(self) -> frozenset[str]:
+        return frozenset().union(*(f.params() for f in self.factors))
+
+    def render(self) -> str:
+        parts = [
+            f"({f.render()})" if isinstance(f, Add) else f.render()
+            for f in self.factors
+        ]
+        return " * ".join(parts)
+
+
+@dataclass(frozen=True)
+class Max(Expr):
+    """Pointwise maximum of the arguments."""
+
+    args: tuple[Expr, ...]
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return max(a.evaluate(env) for a in self.args)
+
+    def substitute(self, env: Mapping[str, ExprLike]) -> Expr:
+        return Max(tuple(a.substitute(env) for a in self.args))
+
+    def params(self) -> frozenset[str]:
+        return frozenset().union(*(a.params() for a in self.args))
+
+    def render(self) -> str:
+        return "max(" + ", ".join(a.render() for a in self.args) + ")"
+
+
+# --------------------------------------------------------------------------
+# The canonical protocol bounds
+# --------------------------------------------------------------------------
+
+_P = Param("p")
+_FW = Param("fw")
+_BW = Param("bw")
+_ITERS = Param("iters")
+
+
+def history_ring_bound() -> Expr:
+    """Per-source history-ring capacity: ``max(bw, 2) + 2``.
+
+    Mirrors the engine's ``default_hist_cap``: the speculator reads the
+    newest BW entries (at least 2 so linear extrapolation always has a
+    slope), and corrections may re-read one entry below the verified
+    horizon, so two slots of slack cover the entry being replaced plus
+    the horizon's predecessor.
+    """
+    return Max((_BW, Const(2))) + 2
+
+
+def inbox_bound() -> Expr:
+    """Per-source inbox depth: ``fw + 1``.
+
+    The pre-send gate keeps a sender within FW iterations of the data
+    it has verified, and delivery is FIFO per channel, so at most the
+    FW speculated-past iterations plus the one being confirmed can sit
+    undelivered in the receiving inbox.
+    """
+    return _FW + 1
+
+
+def inflight_bound() -> Expr:
+    """Per-rank in-flight sends: ``(p - 1) * (fw + 1)``.
+
+    The per-channel inbox bound (:func:`inbox_bound`) applied to each
+    of the ``p - 1`` peers a rank broadcasts to.
+    """
+    return (_P - 1) * (_FW + 1)
+
+
+def cascade_bound() -> Expr:
+    """Corrections per cascade: ``max(fw, 1)``.
+
+    A rejected check at iteration t repairs t and re-corrects every
+    speculated iteration up to the frontier; the window gate pins the
+    frontier at most FW beyond t, so one cascade performs at most FW
+    corrections (one, for the degenerate FW = 0 repair).
+    """
+    return Max((_FW, Const(1)))
+
+
+def event_count_bound() -> Expr:
+    """Total trace events: ``p * iters * (6 + (p - 1) * (2 * fw + 6))``.
+
+    A generous linear envelope — per rank-iteration the protocol emits
+    a bounded alphabet (speculate/compute/verify/window) plus per-peer
+    send/recv/correct traffic that cascades can multiply by at most the
+    window.  Not tight; exists so "the trace grows linearly in the run,
+    not quadratically" is a checkable contract.
+    """
+    return _P * _ITERS * (Const(6) + (_P - 1) * (Const(2) * _FW + 6))

@@ -159,6 +159,29 @@ def all_spt_codes() -> list[str]:
     return sorted(SPT_RULES)
 
 
+#: specbound rule catalogue, keyed by code (SPB401..SPB408).  Like the
+#: SPF/SPP/SPT registries these are whole-program analyses driven by
+#: :mod:`repro.analysis.bounds`; the registry records the metadata the
+#: reporters, SARIF output and the docs enumerate.
+SPB_RULES: dict[str, RuleInfo] = {}
+
+
+def register_spb_rule(
+    code: str, name: str, severity: Severity, summary: str
+) -> RuleInfo:
+    """Register one specbound rule's metadata (idempotence is an error)."""
+    if code in SPB_RULES:  # pragma: no cover - programming error
+        raise ValueError(f"duplicate specbound rule code {code}")
+    info = RuleInfo(code=code, name=name, severity=severity, summary=summary)
+    SPB_RULES[code] = info
+    return info
+
+
+def all_spb_codes() -> list[str]:
+    """Sorted list of registered specbound rule codes."""
+    return sorted(SPB_RULES)
+
+
 def register_rule(
     code: str, name: str, severity: Severity, summary: str
 ) -> Callable[[RuleFn], RuleFn]:

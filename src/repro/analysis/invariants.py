@@ -37,6 +37,7 @@ __all__ = [
     "DEADLOCK_FREEDOM",
     "HISTORY_RING_BOUND",
     "WINDOW_POLICY_BOUND",
+    "BUFFER_OCCUPANCY_BOUNDED",
     "invariant_ids",
     "sanitizer_invariant_ids",
     "specmc_invariant_ids",
@@ -198,6 +199,21 @@ WINDOW_POLICY_BOUND = _register(
     "can neither escape its bounds nor leave a stale gate behind.",
     "safety",
     (SEAT_SANITIZER, SEAT_SPECMC),
+)
+
+
+BUFFER_OCCUPANCY_BOUNDED = _register(
+    "buffer-occupancy-bounded",
+    "Protocol buffers stay within their parameter-derived bounds",
+    "While a rank runs, its speculation buffers respect the bounds the "
+    "specbound analysis derives from the protocol parameters: each "
+    "history ring holds at most its capacity of entries, and the "
+    "run-ahead backlog (iterations arrived but not yet verified) never "
+    "exceeds the FW-derived inbox bound.  A rank exceeding either has "
+    "decoupled memory growth from (p, FW, BW) - the paper's windows no "
+    "longer bound its state.",
+    "safety",
+    (SEAT_SANITIZER,),
 )
 
 

@@ -10,16 +10,16 @@ Suppression syntax (checked per physical line of the diagnostic):
     file (used e.g. by wall-clock backends that legitimately read the
     real clock).
 
-The same directives spelled ``# specflow: ...``, ``# specperf: ...``
-or ``# spectaint: ...`` are honoured too, so SPF1xx/SPP2xx/SPT3xx
-suppressions read naturally next to the tool that emits them; all
-spellings suppress all rule families (codes disambiguate), and one
-directive may name ids from several tools at once
-(``# speclint: disable=SPL001,SPT301``).
+The same directives spelled ``# specflow: ...``, ``# specperf: ...``,
+``# spectaint: ...`` or ``# specbound: ...`` are honoured too, so
+SPF1xx/SPP2xx/SPT3xx/SPB4xx suppressions read naturally next to the
+tool that emits them; all spellings suppress all rule families (codes
+disambiguate), and one directive may name ids from several tools at
+once (``# speclint: disable=SPL001,SPT301``).
 
 :func:`parse_suppressions` is the single implementation every family
-(speclint, specflow, specperf, spectaint) consults — the per-tool
-drivers all route through :func:`drop_suppressed`.
+(speclint, specflow, specperf, spectaint, specbound) consults — the
+per-tool drivers all route through :func:`drop_suppressed`.
 """
 
 from __future__ import annotations
@@ -35,10 +35,10 @@ from repro.analysis.diagnostics import RULES, Diagnostic, Severity
 from repro.analysis import rules as _rules  # noqa: F401
 
 _LINE_DIRECTIVE = re.compile(
-    r"#\s*spec(?:lint|flow|perf|taint):\s*disable=([A-Za-z0-9_,\s]+)"
+    r"#\s*spec(?:lint|flow|perf|taint|bound):\s*disable=([A-Za-z0-9_,\s]+)"
 )
 _FILE_DIRECTIVE = re.compile(
-    r"#\s*spec(?:lint|flow|perf|taint):\s*disable-file=([A-Za-z0-9_,\s]+)"
+    r"#\s*spec(?:lint|flow|perf|taint|bound):\s*disable-file=([A-Za-z0-9_,\s]+)"
 )
 
 #: Directories never descended into during discovery.

@@ -228,7 +228,9 @@ class _RunawayWindow:
         rejects: int,
         now: float,
     ) -> int:
-        return fw + 1
+        # Deliberately runaway (no max_fw clamp): this is the broken
+        # policy the model checker must catch, not a policy to fix.
+        return fw + 1  # specbound: disable=SPB405
 
     def state(self) -> Tuple[float, ...]:
         return ()

@@ -9,7 +9,8 @@ the effect stream of one live execution, every invariant whose
 ``event-state-machine``, ``monotonic-virtual-time``,
 ``forward-window-bound``, ``cascade-order``,
 ``verify-without-speculate``, ``eventual-verification``,
-``sequence-gap-freedom``, ``window-policy-bound``.
+``sequence-gap-freedom``, ``window-policy-bound``,
+``buffer-occupancy-bounded``.
 
 (The registry's remaining ids — ``deadlock-freedom`` and
 ``history-ring-bound`` — need a global view of *all* interleavings and
@@ -235,6 +236,36 @@ class ProtocolSanitizer:
             )
         self._current_fw[rank] = new_fw
 
+    def on_ring_occupancy(
+        self, rank: int, src: object, occupancy: int, capacity: int
+    ) -> None:
+        """A history ring on ``rank`` holds ``occupancy`` entries after
+        an insert (``buffer-occupancy-bounded``)."""
+        self.note(
+            f"rank {rank}: ring src={src} occupancy={occupancy}/{capacity}"
+        )
+        if occupancy > capacity:
+            self._violate(
+                "buffer-occupancy-bounded",
+                f"rank {rank} history ring for src={src} holds "
+                f"{occupancy} entries, over its capacity {capacity}: the "
+                "backward window no longer bounds memory",
+            )
+
+    def on_inbox_depth(
+        self, rank: int, src: object, depth: int, bound: int
+    ) -> None:
+        """Rank ``rank`` has ``depth`` arrived-but-unverified iterations
+        from ``src`` (``buffer-occupancy-bounded``)."""
+        self.note(f"rank {rank}: inbox src={src} depth={depth}/{bound}")
+        if depth > bound:
+            self._violate(
+                "buffer-occupancy-bounded",
+                f"rank {rank} run-ahead backlog from src={src} is "
+                f"{depth} iterations, over the FW-derived bound {bound}: "
+                "arrivals are outrunning verification unboundedly",
+            )
+
     def on_delivery(self, rank: int, src: int, seq: int) -> None:
         """A transport delivered the ``seq``-th message from ``src`` to
         ``rank``'s engine (``sequence-gap-freedom``)."""
@@ -336,6 +367,10 @@ def run_selftest(verbose: bool = True) -> int:
         san = ProtocolSanitizer()
         san.on_window_changed(0, t=4, old_fw=2, new_fw=3, min_fw=0, max_fw=2)
 
+    def bad_occupancy() -> None:
+        san = ProtocolSanitizer()
+        san.on_ring_occupancy(0, src=1, occupancy=5, capacity=4)
+
     expect_violation("verify-without-speculate", bad_verify)
     expect_violation("forward-window-bound", bad_window)
     expect_violation("cascade-order", bad_cascade)
@@ -343,6 +378,7 @@ def run_selftest(verbose: bool = True) -> int:
     expect_violation("sequence-gap-freedom", bad_seq_gap)
     expect_violation("eventual-verification", bad_run_end)
     expect_violation("window-policy-bound", bad_window_policy)
+    expect_violation("buffer-occupancy-bounded", bad_occupancy)
 
     if verbose:
         if failures:
@@ -352,6 +388,6 @@ def run_selftest(verbose: bool = True) -> int:
             print(
                 "sanitizer selftest ok: clean run passed; "
                 f"{len(ProtocolSanitizer.INVARIANTS)} invariants armed, "
-                "7 crafted violations detected"
+                "8 crafted violations detected"
             )
     return 1 if failures else 0

@@ -34,10 +34,19 @@ Subcommands
     irreversible effect.  ``--trace`` replays a recorded event log and
     marks each finding CONFIRMED (a send demonstrably ran during an
     open speculation window), REFUTED or UNOBSERVED.
-``repro check [paths] [--sarif FILE] [--migrate-baselines]``
-    Umbrella: run all four families (speclint, specflow, specperf,
-    spectaint) in one process over one shared parse + call graph,
-    optionally writing a single merged SARIF document;
+``repro bounds [paths] [--format text|json|sarif] [--trace FILE]``
+    Run specbound (static speculation-resource bound analysis, rules
+    SPB4xx): interprocedural buffer summaries over the shared call
+    graph proving every container the protocol grows is bounded by a
+    protocol parameter (BW for history, FW for run-ahead state).
+    ``--trace`` checks the derived symbolic occupancy bounds against
+    a recorded event log's observed per-rank maxima and reports each
+    occupancy contract CONFIRMED / REFUTED / UNOBSERVED.
+``repro check [paths] [--sarif FILE] [--stats] [--migrate-baselines]``
+    Umbrella: run all five families (speclint, specflow, specperf,
+    spectaint, specbound) in one process over one shared parse + call
+    graph, optionally writing a single merged SARIF document;
+    ``--stats`` prints per-tool wall time and parse counts;
     ``--migrate-baselines`` performs the one-shot move of legacy
     per-tool baseline files into ``.speclint/baselines.json``.
 ``repro mc [--p 2,3] [--fw 0,1] [--iters 3] [--budget 60s] ...``
@@ -468,16 +477,93 @@ def _cmd_taint(args: argparse.Namespace) -> int:
     return EXIT_CLEAN
 
 
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.analysis import apply_baseline, render_sarif
+    from repro.analysis.baselines import set_baseline
+    from repro.analysis.bounds import REFUTED, check_occupancy
+    from repro.analysis.bounds import analyze_paths as analyze_bounds
+    from repro.analysis.diagnostics import SPB_RULES
+    from repro.analysis.reporting import (
+        render_diag_json,
+        render_diag_text,
+        rule_catalogue_entries,
+    )
+    from repro.analysis.sarif import fingerprint
+
+    paths = args.paths or ["src"]
+    try:
+        diagnostics = analyze_bounds(paths, select=args.select)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
+    if args.write_baseline:
+        prints = frozenset(fingerprint(d) for d in diagnostics)
+        set_baseline("specbound", prints, args.write_baseline)
+        print(
+            f"specbound: baseline with {len(prints)} fingerprint(s) written "
+            f"to {args.write_baseline} (tool key: specbound)"
+        )
+        return EXIT_CLEAN
+    if args.baseline:
+        try:
+            accepted = _load_accepted("specbound", args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"specbound: cannot read baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        diagnostics = apply_baseline(diagnostics, accepted)
+    if args.format == "sarif":
+        print(
+            render_sarif(
+                diagnostics,
+                tool_name="specbound",
+                rules=rule_catalogue_entries(SPB_RULES),
+            ),
+            end="",
+        )
+    elif args.format == "json":
+        catalogue = {code: info.summary for code, info in SPB_RULES.items()}
+        print(render_diag_json(diagnostics, "specbound", catalogue))
+    else:
+        print(render_diag_text(diagnostics, "specbound"))
+    refuted = 0
+    if args.trace:
+        from repro.trace import EventLog
+
+        try:
+            log = EventLog.load(args.trace)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"specbound: cannot read trace: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        verdicts = check_occupancy(
+            log, p=args.model_p, fw=args.model_fw, bw=args.model_bw
+        )
+        out = sys.stdout if args.format == "text" else sys.stderr
+        print(
+            f"occupancy contracts: {len(log)} event(s), "
+            f"{len(verdicts)} contract(s) checked at "
+            f"(fw={args.model_fw}, bw={args.model_bw})",
+            file=out,
+        )
+        for verdict in verdicts:
+            print(verdict.format_text(), file=out)
+        refuted = sum(1 for v in verdicts if v.status == REFUTED)
+    if diagnostics or refuted:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
-    """``repro check``: all four analysis families over one parse."""
+    """``repro check``: all five analysis families over one parse."""
     from repro.analysis import apply_baseline
     from repro.analysis.baselines import (
         DEFAULT_BASELINES,
         baseline_for,
         migrate_baselines,
     )
+    from repro.analysis.bounds import specbound
     from repro.analysis.diagnostics import (
         RULES,
+        SPB_RULES,
         SPF_RULES,
         SPP_RULES,
         SPT_RULES,
@@ -504,34 +590,76 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return EXIT_CLEAN
 
     paths = args.paths or ["src"]
+    import time as _time
+
+    parse_start = _time.perf_counter()
     try:
         index = ProgramIndex(paths)
     except FileNotFoundError as exc:
         print(exc, file=sys.stderr)
         return EXIT_USAGE
+    index.callgraph  # build once, outside any single tool's timing
+    parse_seconds = _time.perf_counter() - parse_start
 
     sources = index.sources
-    speclint_diags = drop_suppressed(
-        [
-            d
-            for m in index.modules
-            for d in lint_module(m.tree, m.path, m.source)
-        ],
-        sources,
-    ) + index.syntax_diags("SPL000")
+    tool_seconds: dict[str, float] = {}
+
+    def _timed(tool, thunk):
+        t0 = _time.perf_counter()
+        diags = thunk()
+        tool_seconds[tool] = _time.perf_counter() - t0
+        return diags
+
     per_tool = {
-        "speclint": sorted(speclint_diags),
+        "speclint": sorted(
+            _timed(
+                "speclint",
+                lambda: drop_suppressed(
+                    [
+                        d
+                        for m in index.modules
+                        for d in lint_module(m.tree, m.path, m.source)
+                    ],
+                    sources,
+                ),
+            )
+            + index.syntax_diags("SPL000")
+        ),
         "specflow": sorted(
-            specflow.analyze_modules(index.modules, callgraph=index.callgraph)
+            _timed(
+                "specflow",
+                lambda: specflow.analyze_modules(
+                    index.modules, callgraph=index.callgraph
+                ),
+            )
             + index.syntax_diags("SPF000")
         ),
         "specperf": sorted(
-            specperf.analyze_modules(index.modules, callgraph=index.callgraph)
+            _timed(
+                "specperf",
+                lambda: specperf.analyze_modules(
+                    index.modules, callgraph=index.callgraph
+                ),
+            )
             + index.syntax_diags("SPP000")
         ),
         "spectaint": sorted(
-            spectaint.analyze_modules(index.modules, callgraph=index.callgraph)
+            _timed(
+                "spectaint",
+                lambda: spectaint.analyze_modules(
+                    index.modules, callgraph=index.callgraph
+                ),
+            )
             + index.syntax_diags("SPT000")
+        ),
+        "specbound": sorted(
+            _timed(
+                "specbound",
+                lambda: specbound.analyze_modules(
+                    index.modules, callgraph=index.callgraph
+                ),
+            )
+            + index.syntax_diags("SPB000")
         ),
     }
 
@@ -553,6 +681,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         "specflow": rule_catalogue_entries(SPF_RULES),
         "specperf": rule_catalogue_entries(SPP_RULES),
         "spectaint": rule_catalogue_entries(SPT_RULES),
+        "specbound": rule_catalogue_entries(SPB_RULES),
     }
     if args.sarif:
         merged: dict[str, object] = {
@@ -582,6 +711,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 tool: len(diags) for tool, diags in sorted(per_tool.items())
             },
         }
+        if args.stats:
+            payload["stats"] = {
+                "files_parsed": len(index.modules),
+                "syntax_failures": len(index.syntax_errors),
+                "parse_seconds": round(parse_seconds, 6),
+                "tool_seconds": {
+                    tool: round(secs, 6)
+                    for tool, secs in sorted(tool_seconds.items())
+                },
+            }
         print(stable_json(payload), end="")
         total = sum(len(d) for d in per_tool.values())
     else:
@@ -592,6 +731,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
             f"repro check: {total} finding(s) across "
             f"{len(per_tool)} tool(s), {len(index.modules)} file(s) parsed once"
         )
+        if args.stats:
+            print(
+                f"repro check stats: parse+callgraph {parse_seconds:.3f}s over "
+                f"{len(index.modules)} file(s), "
+                f"{len(index.syntax_errors)} syntax failure(s)"
+            )
+            for tool, secs in sorted(tool_seconds.items()):
+                print(f"  {tool:9s} {secs:7.3f}s  {len(per_tool[tool])} finding(s)")
     return EXIT_FINDINGS if total else EXIT_CLEAN
 
 
@@ -946,10 +1093,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tn.set_defaults(func=_cmd_taint)
 
+    p_bd = sub.add_parser(
+        "bounds",
+        help="run specbound (static speculation-resource bound analysis "
+        "with trace-validated occupancy contracts, rules SPB4xx)",
+    )
+    p_bd.add_argument(
+        "paths", nargs="*", help="files/directories to analyse (default: src)"
+    )
+    p_bd.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format",
+    )
+    p_bd.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="only run the given rule (repeatable), e.g. --select SPB401",
+    )
+    p_bd.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings whose fingerprints this baseline accepts "
+        "(accepts the consolidated baselines.json or a legacy v1 file)",
+    )
+    p_bd.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings under the `specbound` key of "
+        "the consolidated baseline file and exit 0",
+    )
+    p_bd.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="check the symbolic occupancy bounds against a recorded "
+        "event log's observed per-rank maxima (history-ring span, inbox "
+        "depth, in-flight sends, cascade depth, event count); each "
+        "contract is CONFIRMED, REFUTED or UNOBSERVED",
+    )
+    p_bd.add_argument(
+        "--model-p",
+        type=int,
+        default=None,
+        metavar="P",
+        help="processor count for the bound evaluation (default: ranks "
+        "in the trace)",
+    )
+    p_bd.add_argument(
+        "--model-fw",
+        type=int,
+        default=1,
+        metavar="N",
+        help="forward window the trace was recorded with (default: 1)",
+    )
+    p_bd.add_argument(
+        "--model-bw",
+        type=int,
+        default=2,
+        metavar="N",
+        help="backward window the trace was recorded with (default: 2, "
+        "the N-body speculator's)",
+    )
+    p_bd.set_defaults(func=_cmd_bounds)
+
     p_ck = sub.add_parser(
         "check",
         help="run every analysis family (speclint+specflow+specperf+"
-        "spectaint) over one shared parse",
+        "spectaint+specbound) over one shared parse",
     )
     p_ck.add_argument(
         "paths", nargs="*", help="files/directories to analyse (default: src)"
@@ -976,6 +1188,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="one-shot: merge the legacy per-tool baseline files into the "
         "consolidated schema-versioned document, then exit",
+    )
+    p_ck.add_argument(
+        "--stats",
+        action="store_true",
+        help="also report per-tool wall time and the shared parse's "
+        "file/failure counts",
     )
     p_ck.set_defaults(func=_cmd_check)
 

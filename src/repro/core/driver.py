@@ -192,6 +192,7 @@ class SpeculativeDriver:
             pre_send_horizon=self._pre_send_horizon,
             window_ok=self._window_ok,
             policy=self.window_policy,
+            sanitizer=self.sanitizer,
         )
 
     # ----------------------------------------------------------- extension

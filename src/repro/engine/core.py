@@ -148,6 +148,11 @@ class SpecEngine:
         ``IterationDone`` with the transport-supplied clock; a changed
         window is announced as a ``WindowChanged`` effect.  The engine
         spawns a private instance, so one template may seed all ranks.
+    sanitizer:
+        Optional :class:`~repro.analysis.sanitizer.ProtocolSanitizer`
+        whose buffer-occupancy hooks (``buffer-occupancy-bounded``) are
+        fed on every arrival: history-ring occupancy vs capacity and
+        the run-ahead backlog vs the FW-derived inbox bound.
     """
 
     def __init__(
@@ -163,6 +168,7 @@ class SpecEngine:
         pre_send_horizon: Optional[HorizonFn] = None,
         window_ok: Optional[WindowFn] = None,
         policy: Optional[WindowPolicy] = None,
+        sanitizer: Optional[object] = None,
     ) -> None:
         if fw < 0:
             raise ValueError("fw must be >= 0")
@@ -175,6 +181,7 @@ class SpecEngine:
         self.fw = fw
         self.cascade = CascadePolicy.coerce(cascade)
         self.policy = policy.spawn() if policy is not None else None
+        self.sanitizer = sanitizer
         self.hist_cap = hist_cap if hist_cap is not None else default_hist_cap(program)
         self.stats = stats if stats is not None else SpecStats(rank=rank)
         self._pre_send_horizon = pre_send_horizon
@@ -236,6 +243,24 @@ class SpecEngine:
         self.missing[t] = self.missing.get(t, expected) - 1
         while self.missing.get(self.verified_upto + 1, expected) == 0:
             self.verified_upto += 1
+        if self.sanitizer is not None:
+            ring = self.history[k]
+            self.sanitizer.on_ring_occupancy(
+                self.rank, k, len(ring), ring.capacity
+            )
+            # Run-ahead backlog: iterations arrived beyond the verified
+            # horizon.  Bounded by the *policy ceiling* (not the live fw)
+            # because peers under an adaptive policy may legitimately
+            # run a wider window than this rank's current one.
+            fw_bound = (
+                self.policy.max_fw if self.policy is not None else self.fw
+            )
+            self.sanitizer.on_inbox_depth(
+                self.rank,
+                k,
+                t - self.verified_upto,
+                fw_bound + max(fw_bound, 1),
+            )
 
     def prune(self) -> None:
         """Drop bookkeeping no correction can ever need again."""

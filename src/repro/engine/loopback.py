@@ -311,5 +311,11 @@ def run_loopback(
                 policy=window_policy,
             )
     runner = LoopbackRunner(engines, event_log=event_log, sanitize=sanitize)
+    if runner.sanitizer is not None:
+        # Same sanitizer instance in the engines' buffer-occupancy seat
+        # (ReceiveDrivenEngine has no such seat and keeps its shape).
+        for engine in engines.values():
+            if hasattr(engine, "sanitizer"):
+                engine.sanitizer = runner.sanitizer
     finals = runner.run()
     return finals, stats, runner

@@ -300,7 +300,9 @@ class PipeTransport:
     ) -> None:
         if not self.record_events:
             return
-        self.events.append(
+        # Opt-in recording buffer living exactly one worker run; the
+        # parent drains it into the run's (cappable) EventLog.
+        self.events.append(  # specbound: disable=SPB406
             TraceEvent(
                 rank=self.rank, seq=self._event_seq, kind=kind,
                 time=time.monotonic() - self.t0,

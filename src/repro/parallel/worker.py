@@ -115,6 +115,8 @@ def _run_protocol(
         record_events=record_events,
         sanitize=sanitize,
     )
+    # Same sanitizer instance in the engine's buffer-occupancy seat.
+    engine.sanitizer = transport.sanitizer
 
     start_barrier.wait()
     transport.start()  # event times / wall_seconds relative to here

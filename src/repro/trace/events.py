@@ -113,14 +113,31 @@ class EventLog:
 
     The log hands out sequence numbers itself: callers only say *what*
     happened, the log pins down the per-rank order.
+
+    ``max_events`` caps the log for long-running use: once full, new
+    events are counted in :attr:`dropped` instead of stored, so the
+    log is a faithful *prefix* of the run (per-rank sequence numbers
+    stay contiguous) plus an honest count of what it missed.  The
+    default (``None``, unbounded) keeps recorded traces byte-identical
+    for the replay tooling.
     """
 
-    def __init__(self, events: Optional[Iterable[TraceEvent]] = None) -> None:
-        self.events: list[TraceEvent] = list(events or [])
+    def __init__(
+        self,
+        events: Optional[Iterable[TraceEvent]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if max_events is not None and max_events < 0:
+            raise ValueError("max_events must be >= 0 (or None for unbounded)")
+        self.max_events = max_events
+        self.dropped = 0
+        self.events: list[TraceEvent] = []
         self._next_seq: dict[int, int] = {}
-        for ev in self.events:
-            nxt = self._next_seq.get(ev.rank, 0)
-            self._next_seq[ev.rank] = max(nxt, ev.seq + 1)
+        if events is not None:
+            self.extend(events)
+
+    def _full(self) -> bool:
+        return self.max_events is not None and len(self.events) >= self.max_events
 
     # ------------------------------------------------------------ recording
     def record(
@@ -132,15 +149,24 @@ class EventLog:
         family: Optional[str] = None,
         iteration: Optional[int] = None,
     ) -> TraceEvent:
-        """Append one event, assigning the rank's next sequence number."""
+        """Append one event, assigning the rank's next sequence number.
+
+        When the ``max_events`` cap is reached the event is *built but
+        not stored* (the drop is counted and the rank's sequence
+        counter is left untouched, keeping the stored log a contiguous
+        per-rank prefix).
+        """
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown trace-event kind {kind!r}")
         seq = self._next_seq.get(rank, 0)
-        self._next_seq[rank] = seq + 1
         event = TraceEvent(
             rank=rank, seq=seq, kind=kind, time=float(time),
             peer=peer, family=family, iteration=iteration,
         )
+        if self._full():
+            self.dropped += 1
+            return event
+        self._next_seq[rank] = seq + 1
         self.events.append(event)
         return event
 
@@ -154,8 +180,15 @@ class EventLog:
         )
 
     def extend(self, events: Iterable[TraceEvent]) -> None:
-        """Merge pre-sequenced events (e.g. from a worker process)."""
+        """Merge pre-sequenced events (e.g. from a worker process).
+
+        Respects the ``max_events`` cap like :meth:`record`: events
+        beyond the cap are counted as dropped, not stored.
+        """
         for ev in events:
+            if self._full():
+                self.dropped += 1
+                continue
             self.events.append(ev)
             nxt = self._next_seq.get(ev.rank, 0)
             self._next_seq[ev.rank] = max(nxt, ev.seq + 1)
@@ -175,6 +208,19 @@ class EventLog:
     def of_kind(self, kind: str) -> list[TraceEvent]:
         """All events of one kind, (rank, seq) order."""
         return sorted(ev for ev in self.events if ev.kind == kind)
+
+    def summary(self) -> dict[str, object]:
+        """Shape of the log: sizes, per-kind counts, drops (JSON-ready)."""
+        counts: dict[str, int] = {}
+        for ev in self.events:
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        return {
+            "events": len(self.events),
+            "ranks": self.ranks(),
+            "kinds": dict(sorted(counts.items())),
+            "max_events": self.max_events,
+            "dropped": self.dropped,
+        }
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,0 +1,10 @@
+"""SPB401: a protocol-reachable buffer grows in a loop, nothing trims it."""
+
+
+class Receiver:
+    def __init__(self):
+        self.arrivals = []
+
+    def recv(self, messages):
+        for msg in messages:
+            self.arrivals.append(msg)

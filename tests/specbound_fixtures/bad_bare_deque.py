@@ -1,0 +1,12 @@
+"""SPB403: a ring-like deque allocated without a cap."""
+
+from collections import deque
+
+
+class History:
+    def __init__(self, bw):
+        self.bw = bw
+        self.hist = deque()
+
+    def push(self, t, value):
+        self.hist.append((t, value))

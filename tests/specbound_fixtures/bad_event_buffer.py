@@ -1,0 +1,9 @@
+"""SPB406: a trace buffer on the protocol path grows with run length."""
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def record_arrival(self, src, t, block):
+        self.events.append((src, t, block))

@@ -1,0 +1,19 @@
+"""SPB401 (interprocedural): the append hides one call away.
+
+The protocol loop never says ``.append`` itself — it hands the buffer
+to a helper.  The buffer summaries must carry the helper's append back
+to the call site.
+"""
+
+
+def stash(buf, item):
+    buf.append(item)
+
+
+class Accumulator:
+    def __init__(self):
+        self.journal = []
+
+    def compute(self, blocks):
+        for block in blocks:
+            stash(self.journal, block)

@@ -1,0 +1,9 @@
+"""SPB408: per-iteration state stored and never evicted."""
+
+
+class Ledger:
+    def __init__(self):
+        self.blocks = {}
+
+    def compute(self, t, block):
+        self.blocks[t] = block

@@ -1,0 +1,11 @@
+"""SPB402: history trimmed to a literal instead of the backward window."""
+
+
+class Tracker:
+    def __init__(self, bw):
+        self.bw = bw
+        self.history = []
+
+    def note(self, t, value):
+        self.history.append((t, value))
+        self.history = self.history[-4:]

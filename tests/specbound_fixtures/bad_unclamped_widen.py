@@ -1,0 +1,8 @@
+"""SPB405: the window widens with no ceiling in scope."""
+
+
+class GreedyWindow:
+    def on_iteration(self, t, fw, rejects):
+        if rejects == 0:
+            return fw + 1
+        return fw

@@ -1,0 +1,9 @@
+"""SPB404: the receive path grows an inbox nothing drains."""
+
+
+class Inbox:
+    def __init__(self):
+        self.pending = []
+
+    def recv(self, src, message):
+        self.pending.append((src, message))

@@ -1,0 +1,10 @@
+"""SPB407: a cascade correction loop with no window-derived guard."""
+
+
+class Corrector:
+    def cascade(self, t, limit):
+        for t2 in range(t + 1, limit):
+            self.redo(t2)
+
+    def redo(self, t2):
+        pass

@@ -1,0 +1,15 @@
+"""Bounded history: a deque capped by the backward window fires nothing."""
+
+from collections import deque
+
+
+class BoundedHistory:
+    def __init__(self, bw):
+        self.history = deque(maxlen=bw)
+
+    def record_arrival(self, t, block):
+        self.history.append((t, block))
+
+    def recv(self, batch):
+        for t, block in batch:
+            self.history.append((t, block))

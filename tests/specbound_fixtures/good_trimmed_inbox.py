@@ -1,0 +1,26 @@
+"""Bounded inbox: every receive-path append is paired with a drain."""
+
+
+class DrainedInbox:
+    def __init__(self, fw):
+        self.fw = fw
+        self.pending = []
+        self.results = {}
+
+    def recv(self, src, message):
+        self.pending.append((src, message))
+
+    def deliver(self):
+        while self.pending:
+            src, message = self.pending.pop(0)
+            self.consume(src, message)
+
+    def consume(self, src, message):
+        pass
+
+    def compute(self, t, block):
+        self.results[t] = block
+
+    def prune(self, horizon):
+        for t in [key for key in self.results if key < horizon]:
+            del self.results[t]

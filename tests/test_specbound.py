@@ -1,0 +1,472 @@
+"""Tests for specbound: the symbolic bound language, the SPB rule
+pack, interprocedural buffer summaries, trace-validated occupancy
+contracts, the EventLog cap, and the ``repro bounds`` / ``repro
+check`` CLIs."""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.baselines import load_baselines
+from repro.analysis.bounds import (
+    CONFIRMED,
+    OCCUPANCY_BOUNDS,
+    PARAMS,
+    REFUTED,
+    UNOBSERVED,
+    Add,
+    Const,
+    Max,
+    Mul,
+    Param,
+    analyze_paths,
+    analyze_source,
+    cascade_bound,
+    check_occupancy,
+    event_count_bound,
+    history_ring_bound,
+    inbox_bound,
+    inferred_iterations,
+    inflight_bound,
+    observed_cascade_depth,
+    observed_inbox_depths,
+    observed_inflight_sends,
+    observed_ring_spans,
+    rule_catalogue,
+)
+from repro.analysis.diagnostics import SPB_RULES, Severity, all_spb_codes
+from repro.analysis.linter import parse_suppressions
+from repro.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+from repro.trace.events import EventLog
+
+FIXTURES = Path(__file__).parent / "specbound_fixtures"
+SRC = Path(__file__).parent.parent / "src"
+
+ALL_CODES = [f"SPB40{i}" for i in range(1, 9)]
+
+
+def _codes_of(path):
+    return [d.code for d in analyze_paths([path])]
+
+
+# --------------------------------------------------------------- registry
+
+
+def test_all_spb_rules_registered():
+    assert all_spb_codes() == ALL_CODES
+    assert set(rule_catalogue()) == set(ALL_CODES)
+    errors = {"SPB401", "SPB404"}
+    for code in ALL_CODES:
+        expected = Severity.ERROR if code in errors else Severity.WARNING
+        assert SPB_RULES[code].severity is expected
+
+
+# --------------------------------------------------------------- fixtures
+
+
+@pytest.mark.parametrize(
+    "name, code",
+    [
+        ("bad_append_loop.py", "SPB401"),
+        ("bad_interproc_chain.py", "SPB401"),
+        ("bad_literal_trim.py", "SPB402"),
+        ("bad_bare_deque.py", "SPB403"),
+        ("bad_ungated_inbox.py", "SPB404"),
+        ("bad_unclamped_widen.py", "SPB405"),
+        ("bad_event_buffer.py", "SPB406"),
+        ("bad_unguarded_cascade.py", "SPB407"),
+        ("bad_iteration_dict.py", "SPB408"),
+    ],
+)
+def test_each_bad_fixture_fires_only_its_rule(name, code):
+    assert _codes_of(FIXTURES / name) == [code]
+
+
+def test_interprocedural_append_through_helper():
+    diags = analyze_paths([FIXTURES / "bad_interproc_chain.py"])
+    assert [d.code for d in diags] == ["SPB401"]
+    # The finding lands on the call site in `compute`, where the
+    # buffer is handed to the helper — not inside `stash`, which only
+    # appends to whatever it is given.
+    assert "via 'stash'" in diags[0].message
+
+
+@pytest.mark.parametrize(
+    "name", ["good_ring_window.py", "good_trimmed_inbox.py"]
+)
+def test_good_fixtures_are_clean(name):
+    assert _codes_of(FIXTURES / name) == []
+
+
+def test_whole_fixture_dir_fires_every_rule():
+    codes = {d.code for d in analyze_paths([FIXTURES])}
+    assert codes == set(ALL_CODES)
+
+
+def test_select_restricts_rules():
+    diags = analyze_paths([FIXTURES], select=["SPB403"])
+    assert {d.code for d in diags} == {"SPB403"}
+
+
+def test_suppression_directive_silences_a_finding():
+    source = (FIXTURES / "bad_ungated_inbox.py").read_text()
+    assert [d.code for d in analyze_source(source, path="<t>")] == ["SPB404"]
+    silenced = source.replace(
+        "self.pending.append((src, message))",
+        "self.pending.append((src, message))  # specbound: disable=SPB404",
+    )
+    assert analyze_source(silenced, path="<t>") == []
+
+
+def test_any_family_spelling_carries_spb_codes():
+    source = "x = 1  # speclint: disable=SPB404\n# spectaint: disable-file=SPB401\n"
+    per_line, file_wide = parse_suppressions(source)
+    assert per_line == {1: {"SPB404"}}
+    assert file_wide == {"SPB401"}
+
+
+def test_syntax_error_yields_spb000():
+    diags = analyze_source("def broken(:\n", path="<t>")
+    assert [d.code for d in diags] == ["SPB000"]
+
+
+def test_src_tree_is_clean():
+    assert analyze_paths([SRC]) == []
+
+
+def test_analysis_is_deterministic_over_fixtures():
+    assert analyze_paths([FIXTURES]) == analyze_paths([FIXTURES])
+
+
+# ---------------------------------------------------------------- symbolic
+
+
+ENVS = st.fixed_dictionaries(
+    {
+        "p": st.integers(min_value=1, max_value=16),
+        "fw": st.integers(min_value=0, max_value=8),
+        "bw": st.integers(min_value=1, max_value=8),
+        "iters": st.integers(min_value=1, max_value=64),
+    }
+)
+
+
+@given(env=ENVS)
+@settings(max_examples=80, deadline=None)
+def test_bound_constructors_match_reference_formulas(env):
+    p, fw, bw, iters = env["p"], env["fw"], env["bw"], env["iters"]
+    assert history_ring_bound().evaluate(env) == max(bw, 2) + 2
+    assert inbox_bound().evaluate(env) == fw + 1
+    assert inflight_bound().evaluate(env) == (p - 1) * (fw + 1)
+    assert cascade_bound().evaluate(env) == max(fw, 1)
+    assert event_count_bound().evaluate(env) == p * iters * (
+        6 + (p - 1) * (2 * fw + 6)
+    )
+
+
+@given(env=ENVS)
+@settings(max_examples=80, deadline=None)
+def test_substitute_evaluate_round_trip(env):
+    for expr in OCCUPANCY_BOUNDS.values():
+        closed = expr.substitute(env)
+        assert closed.params() == frozenset()
+        assert closed.evaluate({}) == expr.evaluate(env)
+
+
+@given(env=ENVS)
+@settings(max_examples=80, deadline=None)
+def test_partial_substitution_commutes_with_evaluate(env):
+    for expr in OCCUPANCY_BOUNDS.values():
+        partial = expr.substitute({"fw": env["fw"], "bw": env["bw"]})
+        assert partial.params() <= frozenset(PARAMS)
+        assert partial.evaluate(env) == expr.evaluate(env)
+
+
+def test_expr_operator_sugar_and_render():
+    fw = Param("fw")
+    assert (fw + 1).render() == "fw + 1"
+    assert (1 + fw).evaluate({"fw": 3}) == 4
+    assert (fw - 1).render() == "fw - 1"
+    assert (2 * fw).evaluate({"fw": 5}) == 10
+    assert isinstance((Param("p") - 1) * (fw + 1), Mul)
+    assert ((Param("p") - 1) * (fw + 1)).render() == "(p - 1) * (fw + 1)"
+    assert Max((Param("bw"), Const(2))).render() == "max(bw, 2)"
+    assert history_ring_bound().render() == "max(bw, 2) + 2"
+
+
+def test_expr_params_and_hashability():
+    assert inflight_bound().params() == frozenset({"p", "fw"})
+    assert event_count_bound().params() == frozenset({"p", "fw", "iters"})
+    assert hash(inbox_bound()) == hash(Add((Param("fw"), Const(1))))
+
+
+def test_param_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown protocol parameter"):
+        Param("theta")
+
+
+def test_unbound_param_raises_on_evaluate():
+    with pytest.raises(KeyError, match="unbound"):
+        inbox_bound().evaluate({"p": 2})
+
+
+# --------------------------------------------------------------- contracts
+
+
+def _healthy_log():
+    """Two ranks exchanging three tagged iterations, one correction."""
+    log = EventLog()
+    for t in range(1, 4):
+        base = float(t)
+        log.record_message("send", 0, base, peer=1, tag=("vars", t))
+        log.record_message("send", 1, base, peer=0, tag=("vars", t))
+        log.record_message("recv", 0, base + 0.4, peer=1, tag=("vars", t))
+        log.record_message("recv", 1, base + 0.4, peer=0, tag=("vars", t))
+    log.record("correct", 0, 4.0, peer=1, family="vars", iteration=3)
+    return log
+
+
+def _flooded_log(depth=5):
+    """Rank 0 fires `depth` sends at rank 1 before a single recv."""
+    log = EventLog()
+    for t in range(1, depth + 1):
+        log.record_message("send", 0, float(t), peer=1, tag=("vars", t))
+    log.record_message("recv", 1, float(depth + 1), peer=0, tag=("vars", 1))
+    return log
+
+
+def test_healthy_log_confirms_every_contract():
+    verdicts = check_occupancy(_healthy_log(), fw=1, bw=2)
+    # 3 per-rank metrics x 2 ranks + run-scoped cascade + events.
+    assert len(verdicts) == 8
+    assert {v.status for v in verdicts} == {CONFIRMED}
+
+
+def test_flooded_inbox_refutes_the_fw_bound():
+    verdicts = check_occupancy(_flooded_log(depth=5), fw=1, bw=2)
+    by_key = {(v.metric, v.scope): v for v in verdicts}
+    inbox = by_key[("inbox", "rank 1")]
+    assert inbox.status == REFUTED
+    assert inbox.observed == 5 and inbox.bound == 2
+    # The same flood shows up as the sender's in-flight excess.
+    assert by_key[("in-flight", "rank 0")].status == REFUTED
+    # A wide enough window would have made it legal.
+    wide = {(v.metric, v.scope): v for v in check_occupancy(_flooded_log(5), fw=4)}
+    assert wide[("inbox", "rank 1")].status == CONFIRMED
+
+
+def test_untagged_log_is_unobserved_not_refuted():
+    log = EventLog()
+    log.record("compute", 0, 0.0)
+    verdicts = check_occupancy(log, fw=1, bw=2)
+    assert {v.status for v in verdicts} == {UNOBSERVED}
+    assert all(v.observed == 0 for v in verdicts)
+
+
+def test_observed_ring_spans_track_channel_lag():
+    log = EventLog()
+    log.record_message("recv", 0, 1.0, peer=1, tag=("vars", 5))
+    log.record_message("recv", 0, 2.0, peer=2, tag=("vars", 2))
+    # Fast channel at iteration 5, slow at 2: span 5 - 2 + 2.
+    assert observed_ring_spans(log) == {0: 5}
+
+
+def test_observed_inbox_depth_is_per_family():
+    log = EventLog()
+    log.record_message("send", 0, 1.0, peer=1, tag=("vars", 1))
+    log.record_message("send", 0, 2.0, peer=1, tag=("barrier", 1))
+    log.record_message("recv", 1, 3.0, peer=0, tag=("vars", 1))
+    # One outstanding message per family, never two on one channel.
+    assert observed_inbox_depths(log) == {1: 1}
+    assert observed_inflight_sends(log) == {0: 1}
+
+
+def test_observed_cascade_depth_counts_consecutive_corrections():
+    log = EventLog()
+    for iteration, kind in enumerate(["correct", "correct", "compute", "correct"]):
+        log.record(kind, 0, float(iteration), family="vars", iteration=iteration)
+    assert observed_cascade_depth(log) == 2
+    assert observed_cascade_depth(EventLog()) is None
+
+
+def test_inferred_iterations_is_max_tag_plus_one():
+    assert inferred_iterations(_healthy_log()) == 4
+    assert inferred_iterations(EventLog()) is None
+
+
+def test_verdict_format_text_shape():
+    verdicts = check_occupancy(_flooded_log(depth=5), fw=1, bw=2)
+    refuted = [v for v in verdicts if v.status == REFUTED]
+    text = refuted[0].format_text()
+    assert text.startswith("occupancy-contract ")
+    assert "REFUTED" in text and "vs bound" in text
+
+
+# ------------------------------------------------------------ EventLog cap
+
+
+def test_event_log_cap_drops_newest_and_counts():
+    log = EventLog(max_events=3)
+    for t in range(5):
+        log.record("compute", 0, float(t), iteration=t)
+    assert len(log) == 3
+    assert log.dropped == 2
+    # The stored prefix keeps contiguous per-rank sequence numbers.
+    assert [ev.seq for ev in log.for_rank(0)] == [0, 1, 2]
+    assert [ev.iteration for ev in log.for_rank(0)] == [0, 1, 2]
+
+
+def test_event_log_extend_respects_cap():
+    source = EventLog()
+    for t in range(4):
+        source.record("compute", 1, float(t), iteration=t)
+    capped = EventLog(max_events=2)
+    capped.extend(source.events)
+    assert len(capped) == 2 and capped.dropped == 2
+
+
+def test_event_log_summary_shape():
+    log = EventLog(max_events=8)
+    log.record_message("send", 0, 1.0, peer=1, tag=("vars", 1))
+    log.record_message("recv", 1, 1.5, peer=0, tag=("vars", 1))
+    log.record("compute", 0, 2.0, iteration=1)
+    assert log.summary() == {
+        "events": 3,
+        "ranks": [0, 1],
+        "kinds": {"compute": 1, "recv": 1, "send": 1},
+        "max_events": 8,
+        "dropped": 0,
+    }
+
+
+def test_event_log_negative_cap_rejected():
+    with pytest.raises(ValueError, match="max_events"):
+        EventLog(max_events=-1)
+
+
+def test_event_log_uncapped_is_unchanged(tmp_path):
+    log = _healthy_log()
+    assert log.max_events is None and log.dropped == 0
+    path = tmp_path / "trace.jsonl"
+    log.save(path)
+    reloaded = EventLog.load(path)
+    assert reloaded.events == sorted(log.events)
+    assert reloaded.summary()["dropped"] == 0
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def test_cli_bounds_exit_codes():
+    assert main(["bounds", str(FIXTURES)]) == EXIT_FINDINGS
+    assert main(["bounds", str(FIXTURES / "good_ring_window.py")]) == EXIT_CLEAN
+    assert main(["bounds", "no/such/path.py"]) == EXIT_USAGE
+
+
+def test_cli_bounds_json_document(capsys):
+    assert main(["bounds", str(FIXTURES), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["tool"] == "specbound"
+    assert set(ALL_CODES) <= set(doc["rules"])
+    assert doc["summary"]["total"] >= len(ALL_CODES)
+
+
+def test_cli_bounds_sarif_document(capsys):
+    assert main(["bounds", str(FIXTURES), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "specbound"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(ALL_CODES)
+    for result in run["results"]:
+        assert "speclint/v1" in result["partialFingerprints"]
+
+
+def test_cli_bounds_baseline_flow(tmp_path):
+    baseline = tmp_path / "baselines.json"
+    assert main(
+        ["bounds", str(FIXTURES), "--write-baseline", str(baseline)]
+    ) == EXIT_CLEAN
+    assert "specbound" in load_baselines(baseline)
+    assert main(
+        ["bounds", str(FIXTURES), "--baseline", str(baseline)]
+    ) == EXIT_CLEAN
+    assert main(
+        ["bounds", str(FIXTURES), "--baseline", str(tmp_path / "none.json")]
+    ) == EXIT_USAGE
+
+
+def test_cli_bounds_trace_contracts(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    _healthy_log().save(trace)
+    assert main(
+        [
+            "bounds", str(FIXTURES / "good_ring_window.py"),
+            "--trace", str(trace), "--model-fw", "1", "--model-bw", "2",
+        ]
+    ) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "occupancy contracts:" in out
+    assert "CONFIRMED" in out and "REFUTED" not in out
+
+    flooded = tmp_path / "flooded.jsonl"
+    _flooded_log(depth=5).save(flooded)
+    assert main(
+        [
+            "bounds", str(FIXTURES / "good_ring_window.py"),
+            "--trace", str(flooded), "--model-fw", "1",
+        ]
+    ) == EXIT_FINDINGS  # a refuted contract gates even a clean tree
+    assert "REFUTED" in capsys.readouterr().out
+
+    assert main(
+        ["bounds", str(FIXTURES), "--trace", str(tmp_path / "nope.jsonl")]
+    ) == EXIT_USAGE
+
+
+def test_cli_check_exit_parity_with_bounds(capsys):
+    dirty = str(FIXTURES / "bad_bare_deque.py")
+    clean = str(FIXTURES / "good_trimmed_inbox.py")
+    assert main(["check", dirty]) == main(["bounds", dirty]) == EXIT_FINDINGS
+    assert main(["check", clean]) == main(["bounds", clean]) == EXIT_CLEAN
+    capsys.readouterr()
+
+
+def test_cli_check_merged_sarif_includes_specbound(tmp_path, capsys):
+    sarif = tmp_path / "merged.sarif"
+    assert main(["check", str(FIXTURES), "--sarif", str(sarif)]) == 1
+    capsys.readouterr()
+    doc = json.loads(sarif.read_text())
+    names = [r["tool"]["driver"]["name"] for r in doc["runs"]]
+    assert names == [
+        "specbound", "specflow", "speclint", "specperf", "spectaint"
+    ]
+    spb_run = doc["runs"][names.index("specbound")]
+    assert {r["ruleId"] for r in spb_run["results"]} == set(ALL_CODES)
+
+
+def test_cli_check_stats_lines(capsys):
+    assert main(
+        ["check", str(FIXTURES / "good_ring_window.py"), "--stats"]
+    ) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "repro check stats:" in out
+    assert "1 file(s)" in out
+    for tool in ("specbound", "specflow", "speclint", "specperf", "spectaint"):
+        assert tool in out
+
+
+def test_cli_check_stats_json(capsys):
+    assert main(
+        ["check", str(FIXTURES / "good_ring_window.py"), "--stats",
+         "--format", "json"]
+    ) == EXIT_CLEAN
+    doc = json.loads(capsys.readouterr().out)
+    stats = doc["stats"]
+    assert stats["files_parsed"] == 1
+    assert stats["syntax_failures"] == 0
+    assert set(stats["tool_seconds"]) == {
+        "specbound", "specflow", "speclint", "specperf", "spectaint"
+    }

@@ -472,7 +472,9 @@ def test_cli_check_merged_sarif_has_one_run_per_tool(tmp_path, capsys):
     capsys.readouterr()
     doc = json.loads(sarif.read_text())
     names = [r["tool"]["driver"]["name"] for r in doc["runs"]]
-    assert names == ["specflow", "speclint", "specperf", "spectaint"]
+    assert names == [
+        "specbound", "specflow", "speclint", "specperf", "spectaint"
+    ]
     spt_run = doc["runs"][names.index("spectaint")]
     assert {r["ruleId"] for r in spt_run["results"]} == set(ALL_CODES)
 
