@@ -1,0 +1,179 @@
+"""Benchmark: speculative speedup vs injected message-loss rate.
+
+Runs the chaos layer (`repro.faults`) through the unified run API and
+writes a machine-readable snapshot to ``BENCH_PR10.json`` at the repo
+root.
+
+Two sections:
+
+* ``des`` — the deterministic virtual-time curve at p=4 and p=16:
+  makespan at FW=0 (blocking) vs FW=2 (the masking window) across
+  loss rates, plus the recovery receipts (injected drops, serviced /
+  sender-timeout retransmits, outstanding).  The DES absorbs
+  recovery into poll charges, so the headline here is *stability*:
+  the speculative speedup survives loss, every drop heals, and at
+  FW=1 the physics stay bit-identical to the fault-free run
+  (``verified`` column; the fw=1 + cascade=recompute contract, see
+  docs/robustness.md).
+* ``mp`` — a small p=4 wall-clock section where retransmit timers
+  cost real seconds, so the speedup genuinely degrades with the loss
+  rate.  Noisy (host-dependent); the DES rows are the reproducible
+  record.
+
+Schema (``BENCH_PR10.json``)::
+
+    {
+      "schema": "bench-chaos/v1",
+      "label": "PR10",
+      "plan": {"seed": 1, "sender_timeout": ..., ...},
+      "des": {
+        "headers": ["p", "loss_rate", "FW=0", "FW=2", "speedup",
+                    "drops", "healed", "outstanding", "verified"],
+        "rows": [[4, 0.01, 0.7503, 0.4010, 1.871, 3, 3, 0, true], ...],
+        "wall_seconds": 2.1
+      },
+      "mp": { ... same headers, FW=2 on real processes ... }
+    }
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_chaos.py [--quick] [--skip-mp]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.api import RunConfig, run
+from repro.apps import JacobiSolver
+from repro.apps.jacobi import diagonally_dominant_system
+from repro.faults import EdgeFault, FaultPlan
+
+from tests.toy_programs import CoupledIncrement  # noqa: E402  (repo-local)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+LOSS_RATES = (0.0, 0.01, 0.05, 0.1)
+HEADERS = ["p", "loss_rate", "FW=0", "FW=2", "speedup",
+           "drops", "healed", "outstanding", "verified"]
+
+
+def _plan(rate: float, wall_clock: bool = False) -> FaultPlan | None:
+    """Drop faults at ``rate``; wall-clock units shrink the timers so
+    an mp row costs seconds, not the 8 s default sender timer."""
+    if rate == 0.0:
+        return None
+    kwargs = {}
+    if wall_clock:
+        kwargs = dict(retry_backoff=0.1, retransmit_delay=0.05,
+                      sender_timeout=0.5)
+    return FaultPlan(seed=1, edges=(EdgeFault(kind="drop", rate=rate),),
+                     **kwargs)
+
+
+def _receipt(report):
+    if report.fault_summary is None:
+        return 0, 0, 0
+    s = report.fault_summary
+    healed = s["retransmits_serviced"] + s["auto_retransmits"]
+    return s["injected"].get("drop", 0), healed, s["outstanding_losses"]
+
+
+def _verified(config: RunConfig) -> bool:
+    """fw=1 physics parity: chaos vs fault-free, bit for bit."""
+    chaos = run(dataclasses.replace(config, fw=1))
+    clean = run(dataclasses.replace(config, fw=1, fault_plan=None))
+    return all(
+        np.array_equal(chaos.results[r], clean.results[r])
+        for r in chaos.results
+    )
+
+
+def bench_des(ps, iterations, n) -> dict:
+    t0 = time.perf_counter()
+    rows = []
+    for p in ps:
+        a, b = diagonally_dominant_system(n, seed=3)
+        prog = JacobiSolver(a, b, capacities=[1000.0] * p,
+                            iterations=iterations, threshold=0.0)
+        for rate in LOSS_RATES:
+            base = RunConfig(prog, backend="des", cascade="recompute",
+                             latency=0.05, fault_plan=_plan(rate))
+            blocking = run(dataclasses.replace(base, fw=0))
+            masking = run(dataclasses.replace(base, fw=2))
+            drops, healed, outstanding = _receipt(masking)
+            rows.append([
+                p, rate,
+                round(blocking.wall_seconds, 6),
+                round(masking.wall_seconds, 6),
+                round(blocking.wall_seconds / masking.wall_seconds, 4),
+                drops, healed, outstanding,
+                _verified(base),
+            ])
+            print("des :", rows[-1])
+    return {"headers": HEADERS, "rows": rows,
+            "wall_seconds": round(time.perf_counter() - t0, 3)}
+
+
+def bench_mp(iterations, wall_compute) -> dict:
+    t0 = time.perf_counter()
+    rows = []
+    p = 4
+    prog = CoupledIncrement(p, iterations, coupling=0.05,
+                            wall_compute=wall_compute)
+    for rate in LOSS_RATES:
+        base = RunConfig(prog, backend="mp", cascade="recompute",
+                         latency=0.02, timeout=240.0,
+                         fault_plan=_plan(rate, wall_clock=True))
+        blocking = run(dataclasses.replace(base, fw=0))
+        masking = run(dataclasses.replace(base, fw=2))
+        drops, healed, outstanding = _receipt(masking)
+        rows.append([
+            p, rate,
+            round(blocking.wall_seconds, 3),
+            round(masking.wall_seconds, 3),
+            round(blocking.wall_seconds / masking.wall_seconds, 4),
+            drops, healed, outstanding,
+            _verified(base),
+        ])
+        print("mp  :", rows[-1])
+    return {"headers": HEADERS, "rows": rows,
+            "wall_seconds": round(time.perf_counter() - t0, 3)}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the sweep for smoke use")
+    parser.add_argument("--skip-mp", action="store_true",
+                        help="DES section only (e.g. on starved hosts)")
+    parser.add_argument("--label", default="PR10")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR10.json"))
+    args = parser.parse_args()
+
+    iterations = 8 if args.quick else 16
+    snapshot = {
+        "schema": "bench-chaos/v1",
+        "label": args.label,
+        "quick": args.quick,
+        "plan": {"seed": 1, "kinds": ["drop"], "loss_rates": list(LOSS_RATES)},
+        "des": bench_des(ps=(4, 16), iterations=iterations,
+                         n=32 if args.quick else 64),
+    }
+    if not args.skip_mp:
+        snapshot["mp"] = bench_mp(iterations=6 if args.quick else 10,
+                                  wall_compute=0.01)
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ Package map (see DESIGN.md for the full inventory):
   experiment.
 """
 
+from repro.api import BACKENDS, RunConfig, RunReport, run
 from repro.apps import (
     CoupledMapLattice,
     HeatEquation1D,
@@ -63,6 +64,7 @@ from repro.vm import Cluster, ProcessorSpec, linear_gradient_specs, uniform_spec
 __version__ = "1.0.0"
 
 __all__ = [
+    "BACKENDS",
     "Cluster",
     "CoupledMapLattice",
     "DampedLinear",
@@ -80,6 +82,8 @@ __all__ = [
     "PlatformConfig",
     "PolynomialExtrapolation",
     "ProcessorSpec",
+    "RunConfig",
+    "RunReport",
     "RunResult",
     "SpecStats",
     "SpeculativeDriver",
@@ -91,6 +95,7 @@ __all__ = [
     "linear_gradient_specs",
     "modern_cluster",
     "plummer_sphere",
+    "run",
     "run_program",
     "section4_params",
     "speedup",

@@ -38,6 +38,7 @@ __all__ = [
     "HISTORY_RING_BOUND",
     "WINDOW_POLICY_BOUND",
     "BUFFER_OCCUPANCY_BOUNDED",
+    "RETRANSMIT_BOUNDED",
     "invariant_ids",
     "sanitizer_invariant_ids",
     "specmc_invariant_ids",
@@ -214,6 +215,21 @@ BUFFER_OCCUPANCY_BOUNDED = _register(
     "longer bound its state.",
     "safety",
     (SEAT_SANITIZER,),
+)
+
+
+RETRANSMIT_BOUNDED = _register(
+    "retransmit-bounded",
+    "Lost messages are recovered within the retry budget",
+    "Every sequence gap a rank detects is healed by a (re)delivery "
+    "before the engine's retransmit timer escalates past its "
+    "max_retries budget, and no retransmit request is still "
+    "outstanding at run end.  A transport that drops a message and "
+    "never answers the retransmit has broken the recovery contract "
+    "speculation's progress depends on - the run must be flagged, "
+    "not silently wedged.",
+    "safety",
+    (SEAT_SANITIZER, SEAT_SPECMC),
 )
 
 

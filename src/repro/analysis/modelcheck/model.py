@@ -49,6 +49,7 @@ from repro.engine.events import (
     Corrected,
     IterationDone,
     Recv,
+    Retransmit,
     Send,
     Speculated,
     TryRecv,
@@ -161,9 +162,10 @@ MUTATIONS: Dict[str, Mutation] = {
         Mutation(
             "drop-message",
             "the transport silently drops the first message on the "
-            "1->0 channel; the receiver's verified horizon can never "
-            "pass it and the final drain hangs",
-            "deadlock-freedom",
+            "1->0 channel and never answers the receiver's retransmit "
+            "requests; the engine detects the sequence gap and asks, "
+            "but the loss is unrecoverable",
+            "retransmit-bounded",
         ),
         Mutation(
             "runaway-window",
@@ -318,8 +320,12 @@ class Execution:
         #: The pre-fix stacks being modelled had no wire stamps, so the
         #: per-channel gap check is off for them: ``no-seq-floor``
         #: must be caught downstream (HistoryRing), ``drop-message``
-        #: by the deadlock detector.
+        #: by the retransmit-bounded detector.
         self._check_delivery_seq = name not in ("no-seq-floor", "drop-message")
+        #: ``no-seq-floor`` models the pre-PR10 unsequenced wire: its
+        #: arrivals carry seq=-1, so the engine's gap/stash resilience
+        #: stays disarmed and the reorder reaches the HistoryRing.
+        self._include_seq = name != "no-seq-floor"
         self._reorder = name == "no-seq-floor"
         self._drop = name == "drop-message"
         policy = (
@@ -351,6 +357,7 @@ class Execution:
         self.schedule: List[Action] = []
         self.steps = 0
         self.dropped = 0
+        self.retransmits = 0
         self._clock = 0
         self._gens = {rank: eng.run() for rank, eng in self.engines.items()}
         for rank in sorted(self._gens):
@@ -408,6 +415,20 @@ class Execution:
             rank: type(eff).__name__ for rank, eff in sorted(self.parked.items())
         }
         undelivered = sum(len(q) for q in self.channels.values())
+        if self.dropped > 0 and self.retransmits > 0:
+            # The wedge is a *diagnosed* loss: the engine detected the
+            # gap and requested retransmission, but the transport never
+            # answered — the recovery contract, not scheduling, broke.
+            self._violate(
+                "retransmit-bounded",
+                f"{self.retransmits} retransmit request(s) went "
+                f"unanswered after {self.dropped} dropped message(s); "
+                f"ranks {sorted(self.parked)} are wedged awaiting "
+                "recovery (parked: "
+                f"{waiting}; undelivered messages: {undelivered})",
+                rank=None,
+            )
+            return self.violation
         self._violate(
             "deadlock-freedom",
             f"no action enabled but ranks {sorted(self.parked)} are "
@@ -464,7 +485,7 @@ class Execution:
             action.rank,
             Arrival(
                 src=action.src, iteration=iteration, payload=payload,
-                waited=waited,
+                waited=waited, seq=seq if self._include_seq else -1,
             ),
         )
         self._check_state()
@@ -584,6 +605,19 @@ class Execution:
                 "window", rank, peer=effect.new_fw,
                 iteration=effect.iteration,
             )
+        elif kind is Retransmit:
+            # The model's transport never retransmits: count the
+            # request (check_deadlock's retransmit-bounded evidence)
+            # and let the sanitizer seat track the open gap.
+            self.retransmits += 1
+            san.on_retransmit(
+                rank, effect.peer, effect.seq, effect.attempt,
+                effect.max_attempts,
+            )
+            self._record(
+                "retransmit", rank, peer=effect.peer, family="vars",
+                iteration=effect.seq,
+            )
 
     # ------------------------------------------------------------ checking
     def _violate(
@@ -678,6 +712,19 @@ class Execution:
                 put("missing", t, eng.missing[t])
             for dst in sorted(eng._send_seq):
                 put("seq", dst, eng._send_seq[dst])
+            # Resilience state: expected next seqs, stashed
+            # out-of-order arrivals and open retransmit gaps all feed
+            # the continuation once sequenced wires are in play.
+            for src in sorted(eng._recv_next):
+                put("rnext", src, eng._recv_next[src])
+            for src in sorted(eng._recv_stash):
+                stash = eng._recv_stash[src]
+                put("rstash", src, tuple(
+                    (s, stash[s].iteration, _digest_block(stash[s].payload))
+                    for s in sorted(stash)
+                ))
+            for src in sorted(eng._gaps):
+                put("rgap", src, tuple(eng._gaps[src]))
             if eng.policy is not None:
                 # With a seated policy the adaptation signals *do* feed
                 # back into protocol decisions, so they join the state.

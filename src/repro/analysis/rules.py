@@ -773,7 +773,7 @@ NOTIFY_EFFECTS = frozenset(
     {
         "Speculated", "ComputeBegin", "Verified", "Corrected",
         "CascadeBegin", "CascadeStep", "CascadeEnd", "IterationDone",
-        "WindowChanged",
+        "WindowChanged", "FaultInjected", "Retransmit", "Degraded",
     }
 )
 #: The full effect alphabet of :mod:`repro.engine.events` (mirrored

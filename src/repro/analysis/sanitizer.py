@@ -10,7 +10,7 @@ the effect stream of one live execution, every invariant whose
 ``forward-window-bound``, ``cascade-order``,
 ``verify-without-speculate``, ``eventual-verification``,
 ``sequence-gap-freedom``, ``window-policy-bound``,
-``buffer-occupancy-bounded``.
+``buffer-occupancy-bounded``, ``retransmit-bounded``.
 
 (The registry's remaining ids — ``deadlock-freedom`` and
 ``history-ring-bound`` — need a global view of *all* interleavings and
@@ -93,6 +93,9 @@ class ProtocolSanitizer:
         self._cascade_last: dict[int, int] = {}
         #: Per (dst_rank, src) last delivered wire sequence number.
         self._last_seq: dict[tuple[int, int], int] = {}
+        #: Outstanding (rank, src) -> missing seq retransmit requests
+        #: awaiting a healing delivery (``retransmit-bounded``).
+        self._open_gaps: dict[tuple[int, int], int] = {}
         #: Per-rank current FW as announced by WindowChanged events
         #: (present only for ranks running an adaptive window policy).
         self._current_fw: dict[int, int] = {}
@@ -280,11 +283,42 @@ class ProtocolSanitizer:
             )
         self._last_seq[(rank, src)] = seq
 
+    def on_retransmit(
+        self, rank: int, src: int, seq: int, attempt: int, max_attempts: int
+    ) -> None:
+        """Rank ``rank`` requested retransmission of the missing
+        ``seq``-th message from ``src`` (``retransmit-bounded``)."""
+        self.note(
+            f"rank {rank}: retransmit src={src} seq={seq} "
+            f"attempt={attempt}/{max_attempts}"
+        )
+        if attempt > max_attempts:
+            self._violate(
+                "retransmit-bounded",
+                f"rank {rank} escalated the retransmit of seq={seq} from "
+                f"src={src} to attempt {attempt}, over the budget of "
+                f"{max_attempts}: a lost message was never recovered",
+            )
+        self._open_gaps[(rank, src)] = seq
+
+    def on_gap_healed(self, rank: int, src: int, seq: int) -> None:
+        """The missing ``seq``-th message from ``src`` finally reached
+        ``rank`` — the outstanding retransmit is settled."""
+        self.note(f"rank {rank}: gap healed src={src} seq={seq}")
+        self._open_gaps.pop((rank, src), None)
+
     # ---------------------------------------------------------- final
     def on_run_end(self) -> None:
         """Called once the driver finished: no speculation may remain
-        unverified."""
+        unverified and no retransmit may remain unanswered."""
         self.note("run end")
+        if self._open_gaps:
+            sample = sorted(self._open_gaps.items())[:5]
+            self._violate(
+                "retransmit-bounded",
+                f"{len(self._open_gaps)} retransmit request(s) never "
+                f"healed by a delivery (e.g. {sample})",
+            )
         if self._outstanding:
             sample = sorted(self._outstanding)[:5]
             self._violate(
@@ -371,6 +405,10 @@ def run_selftest(verbose: bool = True) -> int:
         san = ProtocolSanitizer()
         san.on_ring_occupancy(0, src=1, occupancy=5, capacity=4)
 
+    def bad_retransmit() -> None:
+        san = ProtocolSanitizer()
+        san.on_retransmit(0, src=1, seq=2, attempt=5, max_attempts=4)
+
     expect_violation("verify-without-speculate", bad_verify)
     expect_violation("forward-window-bound", bad_window)
     expect_violation("cascade-order", bad_cascade)
@@ -379,6 +417,7 @@ def run_selftest(verbose: bool = True) -> int:
     expect_violation("eventual-verification", bad_run_end)
     expect_violation("window-policy-bound", bad_window_policy)
     expect_violation("buffer-occupancy-bounded", bad_occupancy)
+    expect_violation("retransmit-bounded", bad_retransmit)
 
     if verbose:
         if failures:
@@ -388,6 +427,6 @@ def run_selftest(verbose: bool = True) -> int:
             print(
                 "sanitizer selftest ok: clean run passed; "
                 f"{len(ProtocolSanitizer.INVARIANTS)} invariants armed, "
-                "8 crafted violations detected"
+                "9 crafted violations detected"
             )
     return 1 if failures else 0

@@ -1,0 +1,299 @@
+"""One run API across the three backends.
+
+Historically each backend grew its own entry point with its own
+signature and return shape: :func:`repro.core.driver.run_program`
+(DES, returns :class:`~repro.core.results.RunResult`),
+:func:`repro.engine.loopback.run_loopback` (returns a 3-tuple) and
+:class:`repro.parallel.MPRunner` (returns
+:class:`~repro.parallel.runner.MPRunResult`).  This module unifies
+them behind one frozen configuration value and one report type::
+
+    from repro.api import RunConfig, run
+
+    report = run(RunConfig(program, backend="mp", fw=2, latency=0.05))
+    report.results[0]          # rank 0's final block
+    report.timings["compute"]  # per-phase cost, max over ranks
+    report.window_history[0]   # rank 0's (iteration, fw) trajectory
+
+The same ``RunConfig`` — including an optional
+:class:`~repro.faults.FaultPlan` — runs unchanged on ``"des"``
+(virtual time), ``"loopback"`` (deterministic in-process scheduler)
+and ``"mp"`` (real OS processes over pipes); only the clock the
+numbers are measured in differs.  The legacy entry points remain as
+thin primitives the dispatcher delegates to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.driver import SpeculativeDriver
+from repro.core.program import SyncIterativeProgram
+from repro.engine.loopback import run_loopback
+from repro.faults import FaultPlan, merge_summaries
+from repro.netsim.latency import ConstantLatency, StochasticLatency
+from repro.netsim.network import DelayNetwork
+from repro.policy import WindowPolicy
+from repro.trace.events import EventLog
+from repro.vm import Cluster, uniform_specs
+
+#: Backends :func:`run` dispatches over.
+BACKENDS = ("des", "loopback", "mp")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything one protocol run needs, as a single frozen value.
+
+    Parameters
+    ----------
+    program:
+        The application (any :class:`~repro.core.program.SyncIterativeProgram`).
+        For the mp backend it must be picklable (all bundled apps are).
+    backend:
+        ``"des"`` (virtual-time simulator), ``"loopback"``
+        (deterministic in-process scheduler) or ``"mp"`` (real OS
+        processes over pipes).
+    p:
+        Optional cross-check; must equal ``program.nprocs`` when set.
+        The program owns its decomposition, so this exists purely to
+        catch configuration drift at validation time.
+    fw:
+        Forward window: 0 (blocking) or any depth >= 1 (speculative).
+    bw:
+        Backward window: how many verified iterations each rank
+        retains for checking and correction (the engine's history
+        cap).  None (default) keeps the engine's derived default.
+    cascade:
+        ``"recompute"`` or ``"none"`` — see
+        :class:`~repro.core.driver.SpeculativeDriver`.
+    window_policy:
+        Optional :class:`~repro.policy.WindowPolicy` template; each
+        rank spawns a private copy and retunes its FW at runtime
+        (``fw`` is then the initial window).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; the plan's seeded
+        faults inject identically on every backend, and the report's
+        :attr:`RunReport.fault_summary` carries the recovery receipt.
+    record_trace:
+        Record protocol trace events; the report's ``event_log`` is
+        then ready for ``repro analyze --trace`` replay.
+    sanitize:
+        Arm the runtime protocol sanitizer; None (default) defers to
+        the ``REPRO_SANITIZE`` environment variable.
+    seed:
+        Seeds the stochastic parts of the transport (DES jitter
+        streams, mp per-worker jitter).  Fault seeding lives on the
+        plan (``fault_plan.seed``), not here.
+    latency:
+        One-way message delay: virtual seconds on ``"des"`` (ignored
+        when an explicit ``cluster`` is supplied), wall seconds on
+        ``"mp"``.  Must be 0 on ``"loopback"``, which has no clock.
+    jitter:
+        Log-normal sigma multiplying ``latency`` per message (des/mp
+        only, same rules as ``latency``).
+    cluster:
+        DES only: an explicit :class:`~repro.vm.Cluster` (e.g. from
+        :func:`repro.platforms.wustl_1994`).  None (default) builds a
+        uniform cluster with a constant-latency network from
+        ``latency``/``jitter``.
+    timeout:
+        mp only: parent-side wall-clock budget for the whole run.
+    """
+
+    program: SyncIterativeProgram
+    backend: str = "des"
+    p: Optional[int] = None
+    fw: int = 1
+    bw: Optional[int] = None
+    cascade: str = "recompute"
+    window_policy: Optional[WindowPolicy] = None
+    fault_plan: Optional[FaultPlan] = None
+    record_trace: bool = False
+    sanitize: Optional[bool] = None
+    seed: int = 0
+    latency: float = 0.0
+    jitter: float = 0.0
+    cluster: Optional[Cluster] = None
+    timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        nprocs = getattr(self.program, "nprocs", None)
+        if self.p is not None and self.p != nprocs:
+            raise ValueError(
+                f"p={self.p} but program.nprocs={nprocs}; the program owns "
+                "its decomposition — rebuild it for a different p"
+            )
+        if self.fw < 0:
+            raise ValueError("fw must be >= 0")
+        if self.bw is not None and self.bw < 1:
+            raise ValueError("bw (the history cap) must be >= 1")
+        if self.latency < 0 or self.jitter < 0:
+            raise ValueError("latency and jitter must be >= 0")
+        if self.backend == "loopback" and (self.latency or self.jitter):
+            raise ValueError(
+                "the loopback backend has no clock; latency/jitter "
+                "require backend='des' or backend='mp'"
+            )
+        if self.cluster is not None and self.backend != "des":
+            raise ValueError("cluster is a DES-only knob")
+        if self.cluster is not None and (self.latency or self.jitter):
+            raise ValueError(
+                "latency/jitter and an explicit cluster are mutually "
+                "exclusive on DES — the cluster's network already "
+                "defines the delays"
+            )
+
+
+@dataclass
+class RunReport:
+    """What one run produced, shaped identically on every backend.
+
+    ``wall_seconds`` is measured in the backend's own clock: virtual
+    seconds (DES makespan), scheduler rounds (loopback) or real wall
+    seconds (mp).  ``timings`` uses the same clock per phase (ops on
+    loopback, where cost is counted rather than timed), aggregated as
+    the max over ranks.  ``stats`` entries are per-rank counter
+    objects — :class:`~repro.core.results.SpecStats` on des/loopback,
+    :class:`~repro.parallel.worker.WorkerReport` on mp — sharing the
+    speculation counter attribute names (``spec_made``,
+    ``spec_accepted``, ``spec_rejected``, ``recomputes``, ...).
+    ``raw`` keeps the backend-native result for anything the common
+    shape does not cover.
+    """
+
+    backend: str
+    results: Dict[int, Any]
+    wall_seconds: float
+    timings: Dict[str, float]
+    window_history: Dict[int, List[Tuple[int, int]]]
+    stats: List[Any]
+    fault_summary: Optional[Dict[str, Any]] = None
+    event_log: Optional[EventLog] = None
+    raw: Any = field(default=None, repr=False)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fleet-wide fraction of checked speculations rejected."""
+        checks = sum(s.spec_accepted + s.spec_rejected for s in self.stats)
+        if checks == 0:
+            return 0.0
+        return sum(s.spec_rejected for s in self.stats) / checks
+
+
+def run(config: RunConfig) -> RunReport:
+    """Execute ``config`` on its backend; one report shape for all three."""
+    if config.backend == "des":
+        return _run_des(config)
+    if config.backend == "loopback":
+        return _run_loopback(config)
+    return _run_mp(config)
+
+
+# ---------------------------------------------------------------- backends
+def _default_cluster(config: RunConfig) -> Cluster:
+    """Uniform DES cluster with a constant(+jitter) latency network."""
+    latency = ConstantLatency(config.latency)
+    if config.jitter > 0:
+        latency = StochasticLatency(latency, sigma=config.jitter,
+                                    seed=config.seed)
+    return Cluster(
+        uniform_specs(config.program.nprocs),
+        network_factory=lambda env: DelayNetwork(env, latency),
+    )
+
+
+def _run_des(config: RunConfig) -> RunReport:
+    cluster = config.cluster if config.cluster is not None else _default_cluster(config)
+    log = EventLog() if config.record_trace else None
+    if log is not None:
+        cluster.event_log = log
+    driver = SpeculativeDriver(
+        config.program, cluster,
+        fw=config.fw, cascade=config.cascade, sanitize=config.sanitize,
+        window_policy=config.window_policy, fault_plan=config.fault_plan,
+        hist_cap=config.bw,
+    )
+    result = driver.run()
+    fault_summary = None
+    if config.fault_plan is not None:
+        # The driver stores bound summary methods (the injectors fill
+        # in as the run executes); materialise them now.
+        fault_summary = merge_summaries([fn() for fn in driver.fault_summaries])
+    return RunReport(
+        backend="des",
+        results=result.final_blocks,
+        wall_seconds=result.makespan,
+        timings=dict(result.breakdown().totals),
+        window_history={r: list(h) for r, h in enumerate(result.window_history)},
+        stats=list(result.stats),
+        fault_summary=fault_summary,
+        event_log=log,
+        raw=result,
+    )
+
+
+def _run_loopback(config: RunConfig) -> RunReport:
+    log = EventLog() if config.record_trace else None
+    finals, stats, runner = run_loopback(
+        config.program,
+        fw=config.fw, cascade=config.cascade, event_log=log,
+        sanitize=config.sanitize, window_policy=config.window_policy,
+        fault_plan=config.fault_plan, hist_cap=config.bw,
+    )
+    timings: Dict[str, float] = {}
+    for tally in runner.phase_ops.values():
+        for phase, ops in tally.items():
+            timings[phase] = max(timings.get(phase, 0.0), ops)
+    fault_summary = None
+    if config.fault_plan is not None:
+        fault_summary = merge_summaries(
+            [eng.injector.summary() for eng in runner.engines.values()]
+        )
+    return RunReport(
+        backend="loopback",
+        results=finals,
+        wall_seconds=float(runner.rounds),
+        timings=timings,
+        # Seed with the initial window so trajectories read the same
+        # as the DES and mp reports.
+        window_history={
+            rank: [(0, config.fw)] + list(hist)
+            for rank, hist in runner.window_history.items()
+        },
+        stats=list(stats),
+        fault_summary=fault_summary,
+        event_log=log,
+        raw=runner,
+    )
+
+
+def _run_mp(config: RunConfig) -> RunReport:
+    from repro.parallel import MPRunner  # deferred: spawns processes
+
+    runner = MPRunner(
+        config.program,
+        fw=config.fw, cascade=config.cascade,
+        latency=config.latency, jitter=config.jitter, seed=config.seed,
+        record_events=config.record_trace, sanitize=config.sanitize,
+        window_policy=config.window_policy, fault_plan=config.fault_plan,
+        hist_cap=config.bw,
+    )
+    result = runner.run(timeout=config.timeout)
+    phases = sorted({p for r in result.reports for p in r.phase_seconds})
+    return RunReport(
+        backend="mp",
+        results=result.final_blocks,
+        wall_seconds=result.wall_seconds,
+        timings={p: result.phase_seconds(p) for p in phases},
+        window_history=result.window_history(),
+        stats=list(result.reports),
+        fault_summary=result.fault_summary(),
+        event_log=result.event_log() if config.record_trace else None,
+        raw=result,
+    )

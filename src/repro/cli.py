@@ -6,11 +6,27 @@ Subcommands
     Show the reproducible artifacts.
 ``repro run fig8 [--out FILE]``
     Regenerate one of the paper's tables/figures and print it.
-``repro nbody -p 8 --fw 1 [--backend mp] [--record-trace FILE] ...``
+``repro nbody -p 8 --fw 1 [--backend des|loopback|mp] ...``
     Run a single N-body experiment with explicit knobs; optionally
     record the protocol event trace for later replay.  ``--backend
     mp`` runs the same protocol engine on real OS processes over
     pipes with injected latency instead of the simulator.
+``repro jacobi -p 4 -n 64 [--backend des|loopback|mp] ...``
+    Run a Jacobi solve through the unified :mod:`repro.api` facade on
+    any backend, with the same run flags as ``nbody``/``chaos``.
+``repro chaos [--plan FILE | --drop 0.01 ...] [--verify] ...``
+    Run a seeded fault-injection campaign: a :class:`~repro.faults.FaultPlan`
+    from a JSON file or inline flags perturbs the receive path while
+    the engine's retransmit layer heals it; prints the fault/recovery
+    summary and (with ``--verify``) checks physics against the
+    fault-free twin.
+
+``nbody``, ``jacobi`` and ``chaos`` share one argparse parent, so
+``--backend/--fw/--bw/--adaptive/--record-trace/--seed/--sanitize``
+are spelled and validated identically, and the mp-only transport
+flags (``--latency/--jitter/--timeout``) error on other backends
+instead of silently no-opping.  (``mc`` keeps its sweep-valued
+``--p/--fw/--bw`` spellings — same names, list-typed.)
 ``repro lint [paths] [--format json] [--sanitize-selftest]``
     Run speclint (the protocol-aware static analyzer) over the given
     files/directories, or self-test the runtime protocol sanitizer.
@@ -71,12 +87,132 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 #: Shared analysis exit codes (``repro lint`` / ``repro analyze``).
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
+
+
+class _UsageError(Exception):
+    """A run-flag combination the shared parent rejects."""
+
+
+def _run_flags_parent() -> argparse.ArgumentParser:
+    """The argparse parent shared by ``nbody``/``jacobi``/``chaos``.
+
+    One definition means ``--backend/--fw/--bw/--adaptive/
+    --record-trace/--seed/--sanitize`` are spelled and validated
+    identically on every run-style subcommand, and the mp-only
+    transport flags use a None sentinel so :func:`_mp_flags` can
+    *error* on other backends instead of silently ignoring them.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    run = parent.add_argument_group("run flags (shared)")
+    run.add_argument(
+        "--backend",
+        choices=("des", "loopback", "mp"),
+        default="des",
+        help="des = discrete-event simulator (default); loopback = "
+        "deterministic in-process scheduler (no clock, costs in ops); "
+        "mp = real OS processes over pipes",
+    )
+    run.add_argument("--fw", type=int, default=1, help="forward window")
+    run.add_argument(
+        "--cascade", choices=("recompute", "none"), default=None,
+        help="correction cascade policy (default: the subcommand's "
+        "canonical policy — nbody keeps the paper's \"none\", "
+        "jacobi/chaos use \"recompute\")",
+    )
+    run.add_argument(
+        "--bw", type=int, default=None, metavar="N",
+        help="backward window: verified iterations each rank retains "
+        "for checking/correction (default: engine-derived)",
+    )
+    run.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="seat an adaptive window policy in every rank's engine: "
+        "--fw becomes the initial window and each rank retunes its "
+        "own FW at runtime",
+    )
+    run.add_argument(
+        "--epoch", type=int, default=4, metavar="N",
+        help="adaptive: iterations between window decisions (default: 4)",
+    )
+    run.add_argument(
+        "--max-fw", type=int, default=4, metavar="N",
+        help="adaptive: upper bound on the forward window (default: 4)",
+    )
+    run.add_argument(
+        "--record-trace",
+        metavar="FILE",
+        help="record the protocol event trace (JSONL) for later "
+        "`repro analyze --trace FILE` replay",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="seed for the run's stochastic parts (default: the "
+        "subcommand's canonical seed)",
+    )
+    run.add_argument(
+        "--sanitize",
+        action="store_const",
+        const=True,
+        default=None,
+        help="arm the runtime protocol sanitizer (default: defer to "
+        "the REPRO_SANITIZE environment variable)",
+    )
+    mp_only = parent.add_argument_group(
+        "mp-only transport flags (error on other backends)"
+    )
+    mp_only.add_argument(
+        "--latency", type=float, default=None, metavar="S",
+        help="mp backend: injected one-way delay in wall seconds "
+        "(default: 0.05)",
+    )
+    mp_only.add_argument(
+        "--jitter", type=float, default=None, metavar="SIGMA",
+        help="mp backend: log-normal sigma multiplying the latency",
+    )
+    mp_only.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="mp backend: parent-side wall-clock budget (default: 300)",
+    )
+    return parent
+
+
+def _mp_flags(
+    args: argparse.Namespace, default_latency: float = 0.05
+) -> tuple[float, float, float]:
+    """Resolve ``--latency/--jitter/--timeout``; raise off-backend.
+
+    Historically these flags existed only on ``nbody`` and silently
+    no-opped when ``--backend des`` was selected; the shared parent
+    makes that a usage error on every run-style subcommand.
+    """
+    supplied = [
+        f"--{name}"
+        for name, value in (
+            ("latency", args.latency),
+            ("jitter", args.jitter),
+            ("timeout", args.timeout),
+        )
+        if value is not None
+    ]
+    if args.backend != "mp":
+        if supplied:
+            raise _UsageError(
+                f"{', '.join(supplied)} require(s) --backend mp "
+                f"(got --backend {args.backend})"
+            )
+        return 0.0, 0.0, 300.0
+    return (
+        args.latency if args.latency is not None else default_latency,
+        args.jitter if args.jitter is not None else 0.0,
+        args.timeout if args.timeout is not None else 300.0,
+    )
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -120,39 +256,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _nbody_window_policy(args: argparse.Namespace):
-    """The :class:`~repro.policy.AimdWindow` template for ``--adaptive``
-    (None when the run keeps its fixed forward window)."""
+def _window_policy(args: argparse.Namespace, degraded: bool = False):
+    """The window-policy template for ``--adaptive`` (None when the
+    run keeps its fixed forward window).  ``degraded=True`` (the chaos
+    subcommand) wraps the AIMD controller in
+    :class:`~repro.policy.DegradedWindow` so persistent loss collapses
+    FW toward 0 and recovery re-widens it."""
     if not args.adaptive:
         return None
-    from repro.policy import AimdWindow
+    from repro.policy import AimdWindow, DegradedWindow
 
-    return AimdWindow(epoch=args.epoch, min_fw=0, max_fw=args.max_fw)
+    inner = AimdWindow(epoch=args.epoch, min_fw=0, max_fw=args.max_fw)
+    return DegradedWindow(inner) if degraded else inner
+
+
+# Back-compat alias (the old name predates the shared parent).
+_nbody_window_policy = _window_policy
+
+
+def _nbody_overrides(args: argparse.Namespace) -> Optional[dict]:
+    """HEADLINE-config overrides from the shared run flags (None when
+    the run keeps the paper's canonical operating point)."""
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.cascade is not None:
+        overrides["cascade"] = args.cascade
+    return overrides or None
 
 
 def _cmd_nbody(args: argparse.Namespace) -> int:
-    if args.backend == "mp":
-        return _cmd_nbody_mp(args)
-    from repro.harness import run_nbody
-
     try:
-        policy = _nbody_window_policy(args)
-    except ValueError as exc:
+        latency, jitter, timeout = _mp_flags(args)
+        policy = _window_policy(args)
+    except (_UsageError, ValueError) as exc:
         print(f"repro nbody: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    if args.backend == "mp":
+        return _cmd_nbody_mp(args, policy, latency, jitter, timeout)
+    if args.backend == "loopback":
+        return _cmd_nbody_loopback(args, policy)
+    from repro.harness import run_nbody
+
     event_log = None
     if args.record_trace:
         from repro.trace import EventLog
 
         event_log = EventLog()
+    config = _nbody_overrides(args)
     program, result = run_nbody(
         p=args.p,
         fw=args.fw,
         iterations=args.iterations,
         n_particles=args.particles,
         threshold=args.theta,
+        config=config,
         event_log=event_log,
         window_policy=policy,
+        hist_cap=args.bw,
+        sanitize=args.sanitize,
     )
     if event_log is not None:
         event_log.save(args.record_trace)
@@ -177,25 +339,69 @@ def _cmd_nbody(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_nbody_mp(args: argparse.Namespace) -> int:
+def _cmd_nbody_loopback(args: argparse.Namespace, policy) -> int:
+    """``repro nbody --backend loopback``: deterministic, costs in ops."""
+    from repro.api import RunConfig, run as api_run
+    from repro.apps import NBodyProgram
+    from repro.harness.experiments import HEADLINE
+    from repro.nbody import uniform_cube
+
+    cfg = dict(HEADLINE)
+    cfg.update(_nbody_overrides(args) or {})
+    system = uniform_cube(
+        args.particles, seed=cfg["ic_seed"], softening=cfg["softening"]
+    )
+    program = NBodyProgram(
+        system, [1.0] * args.p, iterations=args.iterations,
+        dt=cfg["dt"], threshold=args.theta,
+    )
+    report = api_run(RunConfig(
+        program, backend="loopback", fw=args.fw, bw=args.bw,
+        cascade=cfg["cascade"], window_policy=policy,
+        record_trace=bool(args.record_trace), sanitize=args.sanitize,
+        seed=cfg["seed"],
+    ))
+    if args.record_trace:
+        report.event_log.save(args.record_trace)
+        print(f"(trace: {len(report.event_log)} events written to "
+              f"{args.record_trace})")
+    mode = f" adaptive(epoch={args.epoch}, max_fw={args.max_fw})" if policy else ""
+    print(
+        f"p={args.p} FW={args.fw} N={args.particles} T={args.iterations} "
+        f"theta={args.theta} backend=loopback{mode}"
+    )
+    print(f"  scheduler rounds    : {int(report.wall_seconds)}")
+    ops = " / ".join(
+        f"{phase}={report.timings[phase]:.0f}"
+        for phase in sorted(report.timings)
+    )
+    print(f"  phase ops (max/rank): {ops}")
+    print(f"  rejected speculation: {100 * report.rejection_rate:.2f}%")
+    return 0
+
+
+def _cmd_nbody_mp(
+    args: argparse.Namespace, policy, latency: float, jitter: float,
+    timeout: float,
+) -> int:
     """``repro nbody --backend mp``: the protocol on real processes."""
     from repro.harness import run_nbody_mp
 
-    try:
-        policy = _nbody_window_policy(args)
-    except ValueError as exc:
-        print(f"repro nbody: {exc}", file=sys.stderr)
-        return EXIT_USAGE
+    config = _nbody_overrides(args)
     program, result = run_nbody_mp(
         p=args.p,
         fw=args.fw,
         iterations=args.iterations,
         n_particles=args.particles,
         threshold=args.theta,
-        latency=args.latency,
-        jitter=args.jitter,
+        latency=latency,
+        jitter=jitter,
+        config=config,
         record_events=bool(args.record_trace),
+        timeout=timeout,
         window_policy=policy,
+        hist_cap=args.bw,
+        sanitize=args.sanitize,
     )
     if args.record_trace:
         log = result.event_log()
@@ -205,7 +411,7 @@ def _cmd_nbody_mp(args: argparse.Namespace) -> int:
     mode = f" adaptive(epoch={args.epoch}, max_fw={args.max_fw})" if policy else ""
     print(
         f"p={args.p} FW={args.fw} N={args.particles} T={args.iterations} "
-        f"theta={args.theta} backend=mp latency={args.latency}s{mode}"
+        f"theta={args.theta} backend=mp latency={latency}s{mode}"
     )
     print(f"  wall time           : {result.wall_seconds:.3f} s (slowest rank)")
     print(f"  compute / comm      : {result.phase_seconds('compute'):.3f} / "
@@ -221,6 +427,238 @@ def _cmd_nbody_mp(args: argparse.Namespace) -> int:
             f"({changes} change(s))"
         )
     return 0
+
+
+def _build_jacobi(args: argparse.Namespace):
+    """The Jacobi program the ``jacobi``/``chaos`` subcommands run."""
+    from repro.apps.jacobi import JacobiSolver, diagonally_dominant_system
+
+    seed = args.seed if args.seed is not None else 3
+    a, b = diagonally_dominant_system(args.n, seed=seed)
+    program = JacobiSolver(
+        a, b, capacities=[1000.0] * args.p,
+        iterations=args.iterations, threshold=args.theta,
+    )
+    return program, seed
+
+
+def _run_config(args: argparse.Namespace, program, policy, plan,
+                latency: float, jitter: float, timeout: float, seed: int):
+    """One :class:`~repro.api.RunConfig` from the shared run flags."""
+    from repro.api import RunConfig
+
+    return RunConfig(
+        program,
+        backend=args.backend,
+        fw=args.fw,
+        bw=args.bw,
+        cascade=args.cascade if args.cascade is not None else "recompute",
+        window_policy=policy,
+        fault_plan=plan,
+        record_trace=bool(args.record_trace),
+        sanitize=args.sanitize,
+        seed=seed,
+        latency=latency,
+        jitter=jitter,
+        timeout=timeout,
+    )
+
+
+def _cmd_jacobi(args: argparse.Namespace) -> int:
+    """``repro jacobi``: one solve through the unified run API."""
+    import numpy as np
+
+    from repro.api import run as api_run
+
+    try:
+        latency, jitter, timeout = _mp_flags(args)
+        policy = _window_policy(args)
+    except (_UsageError, ValueError) as exc:
+        print(f"repro jacobi: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    program, seed = _build_jacobi(args)
+    report = api_run(_run_config(
+        args, program, policy, None, latency, jitter, timeout, seed,
+    ))
+    if args.record_trace:
+        report.event_log.save(args.record_trace)
+        print(f"(trace: {len(report.event_log)} events written to "
+              f"{args.record_trace})")
+    x = np.empty(program.partition.n)
+    for rank, idx in enumerate(program.partition):
+        x[idx] = report.results[rank]
+    residual = float(np.max(np.abs(program.a @ x - program.b)))
+    unit = {"des": "virtual s", "loopback": "rounds", "mp": "wall s"}
+    mode = f" adaptive(epoch={args.epoch}, max_fw={args.max_fw})" if policy else ""
+    print(
+        f"p={args.p} FW={args.fw} n={args.n} T={args.iterations} "
+        f"theta={args.theta} backend={args.backend}{mode}"
+    )
+    print(f"  wall                : {report.wall_seconds:.3f} "
+          f"{unit[args.backend]}")
+    print(f"  residual (max |Ax-b|): {residual:.3e}")
+    print(f"  rejected speculation: {100 * report.rejection_rate:.2f}%")
+    if policy is not None:
+        changes = sum(len(h) - 1 for h in report.window_history.values())
+        print(f"  window changes      : {changes}")
+    return 0
+
+
+def _parse_rank_spec(spec: str, flag: str, cast) -> tuple[int, Any]:
+    """Parse a ``RANK:VALUE`` CLI operand like ``1:2.0`` or ``2:5``."""
+    try:
+        rank_text, value_text = spec.split(":", 1)
+        return int(rank_text), cast(value_text)
+    except ValueError:
+        raise _UsageError(
+            f"{flag}: expected RANK:VALUE (e.g. 1:2.0), got {spec!r}"
+        )
+
+
+def _chaos_plan(args: argparse.Namespace):
+    """The :class:`~repro.faults.FaultPlan` for ``repro chaos``."""
+    from repro.faults import EdgeFault, FaultPlan, RankFault
+
+    inline = (
+        args.drop or args.duplicate or args.delay or args.reorder
+        or args.straggler or args.crash
+    )
+    if args.plan and inline:
+        raise _UsageError("--plan and inline fault flags are mutually exclusive")
+    if args.plan:
+        try:
+            return FaultPlan.load(args.plan)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise _UsageError(f"cannot read fault plan {args.plan}: {exc}")
+    edges = []
+    for kind, rate in (("drop", args.drop), ("duplicate", args.duplicate),
+                       ("delay", args.delay), ("reorder", args.reorder)):
+        if rate:
+            edges.append(EdgeFault(kind=kind, rate=rate, delay=args.delay_by))
+    ranks = []
+    for spec in args.straggler or ():
+        rank, factor = _parse_rank_spec(spec, "--straggler", float)
+        ranks.append(RankFault(rank=rank, slowdown=factor))
+    for spec in args.crash or ():
+        rank, at = _parse_rank_spec(spec, "--crash", int)
+        ranks.append(RankFault(rank=rank, crash_at=at))
+    try:
+        return FaultPlan(
+            seed=args.fault_seed,
+            edges=tuple(edges),
+            ranks=tuple(ranks),
+            max_retries=args.max_retries,
+            retransmit=not args.no_retransmit,
+        )
+    except ValueError as exc:
+        raise _UsageError(str(exc))
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: a seeded fault-injection campaign."""
+    import dataclasses
+
+    import numpy as np
+
+    from repro.api import run as api_run
+
+    try:
+        latency, jitter, timeout = _mp_flags(args)
+        policy = _window_policy(args, degraded=True)
+        plan = _chaos_plan(args)
+    except (_UsageError, ValueError) as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    program, seed = _build_jacobi(args)
+    config = _run_config(
+        args, program, policy, plan, latency, jitter, timeout, seed,
+    )
+    from repro.analysis.sanitizer import ProtocolViolation
+    from repro.engine.core import RetransmitExhausted
+    from repro.faults import InjectedCrash
+
+    planned_crash = any(f.crash_at is not None for f in plan.ranks)
+    try:
+        report = api_run(config)
+    except InjectedCrash as exc:
+        # des/loopback: the crash fault unwinds the rank directly.
+        print(f"chaos: planned crash terminated the run ({exc})")
+        return EXIT_FINDINGS
+    except ProtocolViolation as exc:
+        print(f"chaos: sanitizer violation — {exc}")
+        return EXIT_FINDINGS
+    except RetransmitExhausted as exc:
+        # The engine escalated past its retry budget: a loss was never
+        # recovered (expected under --no-retransmit).
+        print(f"chaos: unrecovered loss — {exc}")
+        return EXIT_FINDINGS
+    except RuntimeError as exc:
+        # mp: a dying worker's report surfaces as a RuntimeError.
+        first_line = str(exc).splitlines()[0] if str(exc) else str(exc)
+        if planned_crash and "InjectedCrash" in str(exc):
+            print("chaos: planned crash terminated the run "
+                  f"(rank report: {first_line})")
+            return EXIT_FINDINGS
+        if "RetransmitExhausted" in str(exc):
+            print(f"chaos: unrecovered loss — {first_line}")
+            return EXIT_FINDINGS
+        if "ProtocolViolation" in str(exc):
+            print(f"chaos: sanitizer violation — {first_line}")
+            return EXIT_FINDINGS
+        raise
+    if args.record_trace:
+        report.event_log.save(args.record_trace)
+        print(f"(trace: {len(report.event_log)} events written to "
+              f"{args.record_trace})")
+
+    summary = report.fault_summary or {"injected": {}, "total_injected": 0,
+                                       "retransmits_serviced": 0,
+                                       "auto_retransmits": 0,
+                                       "outstanding_losses": 0}
+    injected = " ".join(
+        f"{kind}={count}" for kind, count in sorted(summary["injected"].items())
+    ) or "none"
+    requested = sum(s.retransmits for s in report.stats)
+    suppressed = sum(s.dups_suppressed for s in report.stats)
+    mode = (f" adaptive+degraded(epoch={args.epoch}, max_fw={args.max_fw})"
+            if policy else "")
+    print(
+        f"chaos: backend={args.backend} p={args.p} FW={args.fw} "
+        f"T={args.iterations} plan-seed={plan.seed}{mode}"
+    )
+    print(f"  injected            : {injected} "
+          f"(total {summary['total_injected']})")
+    print(f"  retransmits         : {summary['retransmits_serviced']} "
+          f"serviced + {summary['auto_retransmits']} sender-timeout, "
+          f"{summary['outstanding_losses']} outstanding")
+    print(f"  engine              : {requested} retransmit request(s), "
+          f"{suppressed} duplicate(s) suppressed")
+    unit = {"des": "virtual s", "loopback": "rounds", "mp": "wall s"}
+    print(f"  wall                : {report.wall_seconds:.3f} "
+          f"{unit[args.backend]}")
+    if policy is not None:
+        changes = sum(len(h) - 1 for h in report.window_history.values())
+        print(f"  window changes      : {changes}")
+
+    identical = None
+    if args.verify:
+        clean = api_run(dataclasses.replace(
+            config, fault_plan=None, record_trace=False,
+        ))
+        identical = all(
+            np.array_equal(clean.results[r], report.results[r])
+            for r in report.results
+        )
+        print(f"  physics vs fault-free: "
+              f"{'bit-identical' if identical else 'DIVERGED'}")
+
+    healed = summary["outstanding_losses"] == 0
+    if not healed:
+        print("chaos: unrecovered losses remain", file=sys.stderr)
+    if identical is False:
+        print("chaos: physics diverged from the fault-free run",
+              file=sys.stderr)
+    return EXIT_CLEAN if healed and identical is not False else EXIT_FINDINGS
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -886,49 +1324,102 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--json", help="also write the structured rows as JSON")
     p_run.set_defaults(func=_cmd_run)
 
-    p_nb = sub.add_parser("nbody", help="run one N-body configuration")
+    run_flags = _run_flags_parent()
+
+    p_nb = sub.add_parser(
+        "nbody", parents=[run_flags], help="run one N-body configuration"
+    )
     p_nb.add_argument("-p", "--p", type=int, default=8, help="processors (1-16)")
-    p_nb.add_argument("--fw", type=int, default=1, help="forward window")
     p_nb.add_argument("--particles", type=int, default=1000)
     p_nb.add_argument("--iterations", type=int, default=10)
     p_nb.add_argument("--theta", type=float, default=0.01)
-    p_nb.add_argument(
-        "--backend",
-        choices=("des", "mp"),
-        default="des",
-        help="des = discrete-event simulator (default); "
-        "mp = real OS processes over pipes with injected latency",
-    )
-    p_nb.add_argument(
-        "--latency", type=float, default=0.05,
-        help="mp backend: injected one-way delay in wall seconds",
-    )
-    p_nb.add_argument(
-        "--jitter", type=float, default=0.0,
-        help="mp backend: log-normal sigma multiplying the latency",
-    )
-    p_nb.add_argument(
-        "--record-trace",
-        metavar="FILE",
-        help="record the protocol event trace (JSONL) for later "
-        "`repro analyze --trace FILE` replay",
-    )
-    p_nb.add_argument(
-        "--adaptive",
-        action="store_true",
-        help="seat an AIMD window policy in every rank's engine: --fw "
-        "becomes the initial window and each rank retunes its own FW "
-        "at runtime (works on both backends)",
-    )
-    p_nb.add_argument(
-        "--epoch", type=int, default=4, metavar="N",
-        help="adaptive: iterations between window decisions (default: 4)",
-    )
-    p_nb.add_argument(
-        "--max-fw", type=int, default=4, metavar="N",
-        help="adaptive: upper bound on the forward window (default: 4)",
-    )
     p_nb.set_defaults(func=_cmd_nbody)
+
+    p_jc = sub.add_parser(
+        "jacobi", parents=[run_flags],
+        help="run one Jacobi solve through the unified run API "
+        "(any backend)",
+    )
+    p_jc.add_argument("-p", "--p", type=int, default=4, help="processors")
+    p_jc.add_argument(
+        "-n", "--n", type=int, default=64, help="system size (rows of A)"
+    )
+    p_jc.add_argument("--iterations", type=int, default=12)
+    p_jc.add_argument(
+        "--theta", type=float, default=1e-6,
+        help="speculation acceptance threshold",
+    )
+    p_jc.set_defaults(func=_cmd_jacobi)
+
+    p_ch = sub.add_parser(
+        "chaos", parents=[run_flags],
+        help="run a seeded fault-injection campaign (FaultPlan file or "
+        "inline flags) and print the fault/recovery summary",
+    )
+    p_ch.add_argument("-p", "--p", type=int, default=4, help="processors")
+    p_ch.add_argument(
+        "-n", "--n", type=int, default=64, help="system size (rows of A)"
+    )
+    p_ch.add_argument("--iterations", type=int, default=12)
+    p_ch.add_argument(
+        "--theta", type=float, default=0.0,
+        help="speculation acceptance threshold (default 0: every "
+        "speculation is checked against the exact value)",
+    )
+    p_ch.add_argument(
+        "--plan", metavar="FILE",
+        help="JSON FaultPlan (see FaultPlan.save); mutually exclusive "
+        "with the inline fault flags",
+    )
+    fault = p_ch.add_argument_group("inline fault flags")
+    fault.add_argument(
+        "--drop", type=float, default=0.0, metavar="RATE",
+        help="per-message drop probability on every edge",
+    )
+    fault.add_argument(
+        "--duplicate", type=float, default=0.0, metavar="RATE",
+        help="per-message duplication probability on every edge",
+    )
+    fault.add_argument(
+        "--delay", type=float, default=0.0, metavar="RATE",
+        help="per-message delay probability on every edge",
+    )
+    fault.add_argument(
+        "--delay-by", type=float, default=2.0, metavar="UNITS",
+        help="how long a delayed message is held, in transport clock "
+        "units (default: 2)",
+    )
+    fault.add_argument(
+        "--reorder", type=float, default=0.0, metavar="RATE",
+        help="per-message reorder probability on every edge",
+    )
+    fault.add_argument(
+        "--straggler", action="append", metavar="RANK:FACTOR",
+        help="slow one rank's receive path by FACTOR (repeatable)",
+    )
+    fault.add_argument(
+        "--crash", action="append", metavar="RANK:ITER",
+        help="crash one rank when iteration ITER completes (repeatable)",
+    )
+    fault.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for the plan's pure-hash fault decisions (default: 0)",
+    )
+    fault.add_argument(
+        "--max-retries", type=int, default=4, metavar="N",
+        help="engine retransmit budget per lost message (default: 4)",
+    )
+    fault.add_argument(
+        "--no-retransmit", action="store_true",
+        help="model a transport with no recovery: drops are never "
+        "retransmitted (the retransmit-bounded invariant must flag it)",
+    )
+    p_ch.add_argument(
+        "--verify", action="store_true",
+        help="also run the fault-free twin and check the physics is "
+        "bit-identical",
+    )
+    p_ch.set_defaults(func=_cmd_chaos)
 
     p_lint = sub.add_parser(
         "lint", help="run speclint (protocol-aware static analysis)"

@@ -58,6 +58,7 @@ from repro.engine.des_transport import DESTransport
 # Re-exported for backwards compatibility: the authoritative definition
 # of the message-tag family moved into the engine's effect alphabet.
 from repro.engine.events import VARS  # noqa: F401
+from repro.faults import FaultPlan, wrap_engine
 from repro.policy import CascadePolicy, WindowPolicy
 from repro.vm import Cluster, VirtualProcessor
 
@@ -99,6 +100,12 @@ class SpeculativeDriver:
         and adapts independently.  ``fw`` is then the initial window;
         decisions land in :attr:`fw_history` (and in
         ``RunResult.window_history``).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; each rank's engine
+        is wrapped in the fault middleware
+        (:func:`~repro.faults.wrap_engine`), injecting the plan's
+        seeded drops/duplicates/delays/reorders on the receive path
+        with retransmit backoff paid in *virtual* time.
     """
 
     def __init__(
@@ -109,6 +116,8 @@ class SpeculativeDriver:
         cascade: "CascadePolicy | str" = CascadePolicy.RECOMPUTE,
         sanitize: Optional[bool] = None,
         window_policy: Optional[WindowPolicy] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+        hist_cap: Optional[int] = None,
     ) -> None:
         if fw < 0:
             raise ValueError("fw must be >= 0")
@@ -124,12 +133,18 @@ class SpeculativeDriver:
             self.sanitizer: Optional[ProtocolSanitizer] = sanitizer_from_env()
         else:
             self.sanitizer = ProtocolSanitizer() if sanitize else None
-        self._hist_cap = default_hist_cap(program)
+        self._hist_cap = (
+            hist_cap if hist_cap is not None else default_hist_cap(program)
+        )
         self._stats = [SpecStats(rank=r) for r in range(cluster.size)]
         #: needed[j] / audience[j]: validated dependency topology.
         self._needed, self._audience = topology(program)
         #: Template window policy; each engine spawns a private copy.
         self.window_policy = window_policy
+        #: Optional fault plan wrapped around every rank's engine.
+        self.fault_plan = fault_plan
+        #: Per-rank injector receipts, filled as rank programs build.
+        self.fault_summaries: list = []
         #: Per-rank (iteration, fw) trajectory, seeded with the initial
         #: window; grown from the engines' WindowChanged effects.
         self.fw_history: list[list[tuple[int, int]]] = [
@@ -163,6 +178,11 @@ class SpeculativeDriver:
         """One rank: a :class:`SpecEngine` driven over the simulator."""
         j = proc.rank
         engine = self._make_engine(j)
+        if self.fault_plan is not None:
+            # charge_poll: DES recvs have no timeout, so retransmit
+            # backoff is paid as TryRecv + Charge polls in virtual time.
+            engine = wrap_engine(engine, self.fault_plan, charge_poll=True)
+            self.fault_summaries.append(engine.injector.summary)
         transport = DESTransport(
             proc,
             sanitizer=self.sanitizer,
@@ -177,6 +197,14 @@ class SpeculativeDriver:
 
     def _make_engine(self, rank: int) -> SpecEngine:
         """Build rank ``rank``'s protocol state machine."""
+        retry_kwargs = (
+            {}
+            if self.fault_plan is None
+            else {
+                "max_retries": self.fault_plan.max_retries,
+                "retry_backoff": self.fault_plan.retry_backoff,
+            }
+        )
         return SpecEngine(
             self.program,
             rank,
@@ -193,6 +221,7 @@ class SpeculativeDriver:
             window_ok=self._window_ok,
             policy=self.window_policy,
             sanitizer=self.sanitizer,
+            **retry_kwargs,
         )
 
     # ----------------------------------------------------------- extension
@@ -222,9 +251,16 @@ def run_program(
     cascade: "CascadePolicy | str" = CascadePolicy.RECOMPUTE,
     sanitize: Optional[bool] = None,
     window_policy: Optional[WindowPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    hist_cap: Optional[int] = None,
 ) -> RunResult:
-    """Convenience wrapper: build a driver and run it."""
+    """Convenience wrapper: build a driver and run it.
+
+    Prefer :func:`repro.api.run` for new code — it runs the same
+    configuration on any backend and returns one report type.
+    """
     return SpeculativeDriver(
         program, cluster, fw=fw, cascade=cascade, sanitize=sanitize,
-        window_policy=window_policy,
+        window_policy=window_policy, fault_plan=fault_plan,
+        hist_cap=hist_cap,
     ).run()

@@ -31,6 +31,12 @@ class SpecStats:
         still unverified (only possible with a forward window > 1).
     messages_sent / messages_received:
         Message counters.
+    retransmits:
+        Retransmission requests issued by the engine's resilience layer
+        (sequence gaps detected; zero on fault-free transports).
+    dups_suppressed:
+        Duplicate sequenced arrivals discarded before the protocol core
+        saw them (zero on fault-free transports).
     """
 
     rank: int = 0
@@ -43,6 +49,8 @@ class SpecStats:
     tainted_sends: int = 0
     messages_sent: int = 0
     messages_received: int = 0
+    retransmits: int = 0
+    dups_suppressed: int = 0
 
     @property
     def rejection_rate(self) -> float:

@@ -53,8 +53,10 @@ from repro.engine.events import (
     Charge,
     ComputeBegin,
     Corrected,
+    Degraded,
     IterationDone,
     Recv,
+    Retransmit,
     Send,
     Speculated,
     TryRecv,
@@ -63,6 +65,15 @@ from repro.engine.events import (
 )
 from repro.engine.ring import HistoryRing
 from repro.policy import CascadePolicy, WindowPolicy
+
+
+class RetransmitExhausted(RuntimeError):
+    """A sequence gap survived the engine's full retry budget.
+
+    Raised *after* the final over-budget :class:`Retransmit` effect is
+    yielded, so the sanitizer seat (``retransmit-bounded``) observes
+    the violation before the rank dies.
+    """
 
 
 def default_hist_cap(program: SyncIterativeProgram) -> int:
@@ -153,6 +164,14 @@ class SpecEngine:
         whose buffer-occupancy hooks (``buffer-occupancy-bounded``) are
         fed on every arrival: history-ring occupancy vs capacity and
         the run-ahead backlog vs the FW-derived inbox bound.
+    max_retries / retry_backoff:
+        Resilience budget for sequenced arrivals (``Arrival.seq >= 0``):
+        a detected sequence gap is announced as a :class:`Retransmit`
+        effect and escalated with exponential backoff (base
+        ``retry_backoff`` transport clock units) at most ``max_retries``
+        times before the engine gives up with
+        :class:`RetransmitExhausted`.  Inert on fault-free transports,
+        which always deliver in seq order.
     """
 
     def __init__(
@@ -169,6 +188,8 @@ class SpecEngine:
         window_ok: Optional[WindowFn] = None,
         policy: Optional[WindowPolicy] = None,
         sanitizer: Optional[object] = None,
+        max_retries: int = 4,
+        retry_backoff: float = 1.0,
     ) -> None:
         if fw < 0:
             raise ValueError("fw must be >= 0")
@@ -209,6 +230,22 @@ class SpecEngine:
         self.epoch_wait = 0.0
         #: Per-destination send sequence numbers (protocol-order stamps).
         self._send_seq: Dict[int, int] = {dst: 0 for dst in self.audience}
+        # ---------------------------------------------- resilience state
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if retry_backoff <= 0:
+            raise ValueError("retry_backoff must be > 0")
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        #: Next expected arrival seq per source (sequenced arrivals only).
+        self._recv_next: Dict[int, int] = {}
+        #: Out-of-order arrivals parked until their gap heals; bounded by
+        #: the inbox bound (each stashed seq is a distinct in-flight
+        #: iteration, itself window-bounded at the sender).
+        self._recv_stash: Dict[int, Dict[int, Arrival]] = {}
+        #: Open gaps: src -> (missing seq, attempt, ticks since request).
+        self._gaps: Dict[int, list] = {}
+        self._last_degraded = False
         for k in self.needed:
             block0 = program.initial_block(k)
             self.actual[(k, 0)] = block0
@@ -305,7 +342,12 @@ class SpecEngine:
             #     previous iteration's trailing verification loop, so any
             #     correction of X_j(t) lands *before* it goes on the wire.
             while self.verified_upto < self.pre_send_horizon(t):
-                arrival = yield Recv(phase="comm", iteration=t)
+                arrival = yield Recv(
+                    phase="comm", iteration=t, timeout=self._recv_timeout()
+                )
+                if arrival is None:
+                    yield from self._on_recv_timeout()
+                    continue
                 self.epoch_wait += arrival.waited
                 yield from self._on_arrival(arrival)
 
@@ -332,7 +374,12 @@ class SpecEngine:
             # 2c. Post-send window: with fw = 0 this is the blocking
             #     receive of Fig. 1; with fw >= 1 a no-op beyond 2a.
             while not self.window_ok(t):
-                arrival = yield Recv(phase="comm", iteration=t)
+                arrival = yield Recv(
+                    phase="comm", iteration=t, timeout=self._recv_timeout()
+                )
+                if arrival is None:
+                    yield from self._on_recv_timeout()
+                    continue
                 self.epoch_wait += arrival.waited
                 yield from self._on_arrival(arrival)
 
@@ -373,7 +420,12 @@ class SpecEngine:
         # 5. Final verification: wait out all stragglers so every
         #    speculation is checked and corrected before reporting.
         while self.verified_upto < T - 1:
-            arrival = yield Recv(phase="comm", iteration=T - 1)
+            arrival = yield Recv(
+                phase="comm", iteration=T - 1, timeout=self._recv_timeout()
+            )
+            if arrival is None:
+                yield from self._on_recv_timeout()
+                continue
             yield from self._on_arrival(arrival)
 
         return self.chain[T]
@@ -390,6 +442,9 @@ class SpecEngine:
         policy = self.policy
         assert policy is not None
         clock = float(t + 1) if now is None else float(now)
+        observe_losses = getattr(policy, "observe_losses", None)
+        if observe_losses is not None:
+            observe_losses(self.stats.retransmits)
         new_fw = policy.on_iteration(
             t,
             fw=self.fw,
@@ -408,16 +463,112 @@ class SpecEngine:
                 min_fw=policy.min_fw,
                 max_fw=policy.max_fw,
             )
+        degraded = getattr(policy, "degraded", None)
+        if degraded is not None and bool(degraded) != self._last_degraded:
+            self._last_degraded = bool(degraded)
+            yield Degraded(
+                iteration=t + 1,
+                active=self._last_degraded,
+                losses=self.stats.retransmits,
+            )
+
+    # ----------------------------------------------------------- resilience
+    def _backoff(self, attempt: int) -> float:
+        """Exponential escalation wait before request ``attempt + 1``."""
+        return self.retry_backoff * (2 ** (attempt - 1))
+
+    def _recv_timeout(self) -> Optional[float]:
+        """Park bound for blocking receives: one backoff quantum while
+        any sequence gap is outstanding, unbounded otherwise."""
+        return self.retry_backoff if self._gaps else None
+
+    def _emit_retransmit(self, src: int, seq: int, attempt: int) -> Generator:
+        self.stats.retransmits += 1
+        yield Retransmit(
+            peer=src,
+            seq=seq,
+            attempt=attempt,
+            max_attempts=self.max_retries,
+            backoff=self._backoff(attempt),
+        )
+        if attempt > self.max_retries:
+            raise RetransmitExhausted(
+                f"rank {self.rank}: message seq {seq} from rank {src} still "
+                f"missing after {self.max_retries} retransmit requests"
+            )
+
+    def _gap_tick(self, src: int) -> Generator:
+        """Open (or escalate, with exponential backoff) ``src``'s gap."""
+        missing = self._recv_next.get(src, 0)
+        gap = self._gaps.get(src)
+        if gap is None or gap[0] != missing:
+            self._gaps[src] = [missing, 1, 0]
+            yield from self._emit_retransmit(src, missing, 1)
+            return
+        gap[2] += 1
+        if gap[2] >= self._backoff(gap[1]):
+            gap[1] += 1
+            gap[2] = 0
+            yield from self._emit_retransmit(src, missing, gap[1])
+
+    def _on_recv_timeout(self) -> Generator:
+        """A bounded receive expired: escalate every open gap."""
+        timeout = self._recv_timeout()
+        if timeout is not None:
+            self.epoch_wait += timeout
+        for src in sorted(self._gaps):
+            yield from self._gap_tick(src)
 
     # ------------------------------------------------------------- arrivals
     def _on_arrival(self, arrival: Arrival) -> Generator:
-        """Store an arrival; verify (and maybe correct) a speculation."""
+        """Route one arrival through the resilience layer.
+
+        Unsequenced arrivals (``seq < 0``, e.g. the DES wire before
+        stamping) pass straight through.  Sequenced ones are suppressed
+        as duplicates, parked on a gap, or accepted in order — parked
+        successors are replayed the moment the gap heals, so the
+        protocol core below only ever sees the fault-free order.
+        """
+        k = arrival.src
+        if k not in self.needed:  # pragma: no cover - audience routing
+            return
+        if arrival.seq < 0:
+            yield from self._accept(arrival)
+            return
+        expected = self._recv_next.get(k, 0)
+        if arrival.seq < expected:
+            self.stats.dups_suppressed += 1
+            return
+        if arrival.seq > expected:
+            self._recv_stash.setdefault(k, {})[arrival.seq] = arrival
+            yield from self._gap_tick(k)
+            return
+        self._recv_next[k] = expected + 1
+        yield from self._accept(arrival)
+        stash = self._recv_stash.get(k)
+        while stash:
+            parked = stash.pop(self._recv_next[k], None)
+            if parked is None:
+                break
+            self._recv_next[k] += 1
+            yield from self._accept(parked)
+        if k in self._gaps:
+            if not stash:
+                healed = self._gaps.pop(k)
+                self._recv_stash.pop(k, None)
+                if self.sanitizer is not None:
+                    self.sanitizer.on_gap_healed(self.rank, k, healed[0])
+            else:
+                # The old gap healed but a later seq is still missing:
+                # open the follow-up gap with a fresh retry budget.
+                yield from self._gap_tick(k)
+
+    def _accept(self, arrival: Arrival) -> Generator:
+        """Store an in-order arrival; verify (maybe correct) a speculation."""
         prog = self.program
         j = self.rank
         stats = self.stats
         k, t = arrival.src, arrival.iteration
-        if k not in self.needed:  # pragma: no cover - audience routing
-            return
         actual = arrival.payload
         self.record_arrival(k, t, actual)
 

@@ -33,8 +33,11 @@ from repro.engine.events import (
     Charge,
     ComputeBegin,
     Corrected,
+    Degraded,
+    FaultInjected,
     IterationDone,
     Recv,
+    Retransmit,
     Send,
     Speculated,
     TryRecv,
@@ -82,6 +85,10 @@ class DESTransport:
         self.event_log = event_log
         self.on_iteration = on_iteration
         self.on_window = on_window
+        #: Per-source arrival counter standing in for the wire seq:
+        #: the DES network is per-pair FIFO by construction, so the
+        #: k-th arrival from ``src`` carries ``Send.seq == k``.
+        self._arrival_seq: dict[int, int] = {}
 
     # ------------------------------------------------------------- the loop
     def drive(self, engine: Any) -> Generator:
@@ -131,8 +138,11 @@ class DESTransport:
         family, iteration = tag
         if not isinstance(iteration, int):  # pragma: no cover - defensive
             raise TransportError(f"unexpected message tag {tag!r}")
+        seq = self._arrival_seq.get(msg.src, 0)
+        self._arrival_seq[msg.src] = seq + 1
         return Arrival(
-            src=msg.src, iteration=iteration, payload=msg.payload, waited=waited
+            src=msg.src, iteration=iteration, payload=msg.payload,
+            waited=waited, seq=seq,
         )
 
     def _notify(self, effect: Any) -> Optional[float]:
@@ -202,4 +212,25 @@ class DESTransport:
                 )
             if self.on_window is not None:
                 self.on_window(effect)
+        elif kind is FaultInjected:
+            if log is not None:
+                log.record(
+                    "fault", rank, now, peer=effect.src,
+                    family="vars", iteration=effect.iteration,
+                )
+        elif kind is Retransmit:
+            if san is not None:
+                san.on_retransmit(rank, effect.peer, effect.seq,
+                                  effect.attempt, effect.max_attempts)
+            if log is not None:
+                log.record(
+                    "retransmit", rank, now, peer=effect.peer,
+                    family="vars", iteration=effect.seq,
+                )
+        elif kind is Degraded:
+            if log is not None:
+                log.record(
+                    "degraded", rank, now, peer=int(effect.active),
+                    iteration=effect.iteration,
+                )
         return None

@@ -69,11 +69,18 @@ class Recv:
     ``match`` of None is the wildcard receive (any family/iteration);
     a ``(family, iteration)`` pair restricts matching (used by the
     receive-driven baseline, which consumes exactly iteration ``t``).
+
+    ``timeout`` (transport clock units) bounds the park: a transport
+    that supports timeouts responds with ``None`` once it expires with
+    nothing delivered.  The engine only sets it while a sequence gap
+    is outstanding, so fault-free runs never see a ``None`` response
+    and transports without timeout support stay correct.
     """
 
     phase: str
     iteration: int
     match: Optional[Tuple[str, int]] = None
+    timeout: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -103,12 +110,20 @@ class Arrival:
     ``waited`` is how long the receive blocked (virtual seconds under
     DES, wall seconds on pipes); the engine accumulates it into the
     adaptive controller's epoch-wait signal.
+
+    ``seq`` echoes the per-(src, dst) ``Send.seq`` the message carried
+    on the wire, when the transport knows it (-1 otherwise).  Sequenced
+    arrivals arm the engine's resilience layer: duplicates are
+    suppressed, and out-of-order arrivals are parked until the gap is
+    retransmitted.  All fault-free transports deliver in seq order, so
+    the bookkeeping is inert outside fault injection.
     """
 
     src: int
     iteration: int
     payload: Any
     waited: float = 0.0
+    seq: int = -1
 
 
 # --------------------------------------------------------------------------
@@ -203,6 +218,61 @@ class WindowChanged:
     max_fw: int
 
 
+@dataclass(frozen=True)
+class FaultInjected:
+    """The fault layer perturbed one message on this rank's receive
+    path (chaos runs only).
+
+    ``kind`` is one of ``"drop"``, ``"duplicate"``, ``"delay"``,
+    ``"reorder"`` — the :class:`~repro.faults.FaultPlan` edge fault
+    that fired.  Emitted *by the fault layer*, not the engine, but
+    part of the effect alphabet so every transport's observer seat
+    (sanitizer, EventLog) sees faults through the same dispatch path
+    as protocol events.
+    """
+
+    kind: str
+    src: int
+    seq: int
+    iteration: int
+
+
+@dataclass(frozen=True)
+class Retransmit:
+    """The engine detected a sequence gap and requests retransmission
+    of ``(peer -> self, seq)``.
+
+    ``attempt`` counts requests for this gap (1-based) and
+    ``max_attempts`` is the engine's retry budget; an attempt beyond
+    the budget is the ``retransmit-bounded`` violation.  ``backoff``
+    is the exponential wait (transport clock units) before the next
+    escalation.  The fault layer services the request from its
+    retained-loss buffer; fault-free runs never emit this.
+    """
+
+    peer: int
+    seq: int
+    attempt: int
+    max_attempts: int
+    backoff: float
+
+
+@dataclass(frozen=True)
+class Degraded:
+    """The seated :class:`~repro.policy.DegradedWindow` flipped its
+    loss-degradation state.
+
+    ``active`` True means the policy is collapsing FW toward 0 under
+    persistent loss; False announces recovery (control handed back to
+    the wrapped policy).  ``losses`` is the cumulative retransmit
+    count the decision was based on.
+    """
+
+    iteration: int
+    active: bool
+    losses: int
+
+
 #: Every effect the engine may yield (for transports that dispatch).
 Effect = (
     Send,
@@ -218,4 +288,7 @@ Effect = (
     CascadeEnd,
     IterationDone,
     WindowChanged,
+    FaultInjected,
+    Retransmit,
+    Degraded,
 )

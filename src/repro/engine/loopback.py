@@ -40,14 +40,19 @@ from repro.engine.events import (
     Charge,
     ComputeBegin,
     Corrected,
+    Degraded,
+    FaultInjected,
     IterationDone,
     Recv,
+    Retransmit,
     Send,
     Speculated,
     TryRecv,
     Verified,
     WindowChanged,
 )
+from repro.faults.middleware import wrap_engine
+from repro.faults.plan import FaultPlan
 from repro.policy import WindowPolicy
 
 
@@ -109,6 +114,15 @@ class LoopbackRunner:
         #: ``Arrival.waited`` for ranks parked on a blocking receive).
         self._rounds = 0
         self._parked_at: Dict[int, int] = {}
+        #: rank -> round at which a parked Recv's ``timeout`` expires
+        #: (the rank then resumes with None so the engine's retransmit
+        #: timer can escalate; fault-free engines never set one).
+        self._parked_deadline: Dict[int, int] = {}
+
+    @property
+    def rounds(self) -> int:
+        """Scheduler sweeps completed — the loopback's coarse clock."""
+        return self._rounds
 
     # -------------------------------------------------------------- running
     def run(self) -> Dict[int, Any]:
@@ -129,11 +143,21 @@ class LoopbackRunner:
                 if rank in blocked:
                     arrival = self._match(rank, blocked[rank])
                     if arrival is None:
-                        continue  # still blocked
-                    waited = float(self._rounds - self._parked_at.pop(rank))
-                    response[rank] = replace(arrival, waited=waited)
-                    del blocked[rank]
-                    progress = True
+                        deadline = self._parked_deadline.get(rank)
+                        if deadline is None or self._rounds < deadline:
+                            continue  # still blocked
+                        # Bounded park expired: resume with None.
+                        self._parked_at.pop(rank, None)
+                        self._parked_deadline.pop(rank, None)
+                        response[rank] = None
+                        del blocked[rank]
+                        progress = True
+                    else:
+                        waited = float(self._rounds - self._parked_at.pop(rank))
+                        self._parked_deadline.pop(rank, None)
+                        response[rank] = replace(arrival, waited=waited)
+                        del blocked[rank]
+                        progress = True
                 # Step this rank until it blocks or finishes.
                 while True:
                     try:
@@ -154,6 +178,11 @@ class LoopbackRunner:
                         if arrival is None:
                             blocked[rank] = effect
                             self._parked_at[rank] = self._rounds
+                            if effect.timeout is not None:
+                                self._parked_deadline[rank] = (
+                                    self._rounds
+                                    + max(1, int(effect.timeout))
+                                )
                             break
                         response[rank] = arrival
                     elif kind is Charge:
@@ -162,6 +191,10 @@ class LoopbackRunner:
                     else:
                         response[rank] = self._observe(rank, effect)
             if not progress:
+                if self._parked_deadline:
+                    # A bounded park is still counting down: advancing
+                    # the round clock toward its deadline *is* progress.
+                    continue
                 waiting = {
                     rank: (eff.match, eff.iteration)
                     for rank, eff in sorted(blocked.items())
@@ -192,7 +225,7 @@ class LoopbackRunner:
             self.sanitizer.on_delivery(rank, src, seq)
         self._observe_message("recv", rank, peer=src,
                               family=family, iteration=iteration)
-        return Arrival(src=src, iteration=iteration, payload=payload)
+        return Arrival(src=src, iteration=iteration, payload=payload, seq=seq)
 
     def _match(self, rank: int, effect: Recv) -> Optional[Arrival]:
         if effect.match is None:
@@ -206,7 +239,8 @@ class LoopbackRunner:
                     self.sanitizer.on_delivery(rank, src, seq)
                 self._observe_message("recv", rank, peer=src,
                                       family=family, iteration=iteration)
-                return Arrival(src=src, iteration=iteration, payload=payload)
+                return Arrival(src=src, iteration=iteration, payload=payload,
+                               seq=seq)
         return None
 
     # ------------------------------------------------------------ observers
@@ -277,6 +311,23 @@ class LoopbackRunner:
                 log.record("window", rank, self._tick(),
                            peer=effect.new_fw, iteration=effect.iteration)
             self.window_history[rank].append((effect.iteration, effect.new_fw))
+        elif kind is FaultInjected:
+            if log is not None:
+                log.record("fault", rank, self._tick(), peer=effect.src,
+                           family="vars", iteration=effect.iteration)
+        elif kind is Retransmit:
+            if san is not None:
+                san.on_retransmit(rank, effect.peer, effect.seq,
+                                  effect.attempt, effect.max_attempts)
+            if log is not None:
+                log.record("retransmit", rank, self._tick(),
+                           peer=effect.peer, family="vars",
+                           iteration=effect.seq)
+        elif kind is Degraded:
+            if log is not None:
+                log.record("degraded", rank, self._tick(),
+                           peer=int(effect.active),
+                           iteration=effect.iteration)
         return None
 
 
@@ -288,13 +339,19 @@ def run_loopback(
     event_log: Any = None,
     sanitize: Optional[bool] = None,
     window_policy: Optional[WindowPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    hist_cap: Optional[int] = None,
 ) -> Tuple[Dict[int, Any], list[SpecStats], LoopbackRunner]:
     """Run ``program`` on the loopback transport.
+
+    Prefer :func:`repro.api.run` for new code; this remains the
+    loopback backend primitive it delegates to.
 
     Returns ``(final_blocks, stats, runner)`` — the per-rank final
     blocks, the speculation counters, and the runner (whose
     ``phase_ops`` tallies, ``window_history`` and queues tests may
-    inspect).
+    inspect).  With a ``fault_plan``, each engine is wrapped in the
+    :mod:`repro.faults` receive-path seam (speculative engines only).
     """
     needed, audience = topology(program)
     stats = [SpecStats(rank=r) for r in range(program.nprocs)]
@@ -305,10 +362,20 @@ def run_loopback(
                 program, rank, needed[rank], audience[rank], stats=stats[rank]
             )
         else:
-            engines[rank] = SpecEngine(
-                program, rank, needed[rank], audience[rank],
-                fw=fw, cascade=cascade, stats=stats[rank],
-                policy=window_policy,
+            engines[rank] = wrap_engine(
+                SpecEngine(
+                    program, rank, needed[rank], audience[rank],
+                    fw=fw, cascade=cascade, stats=stats[rank],
+                    policy=window_policy, hist_cap=hist_cap,
+                    max_retries=(
+                        fault_plan.max_retries if fault_plan is not None else 4
+                    ),
+                    retry_backoff=(
+                        fault_plan.retry_backoff
+                        if fault_plan is not None else 1.0
+                    ),
+                ),
+                fault_plan,
             )
     runner = LoopbackRunner(engines, event_log=event_log, sanitize=sanitize)
     if runner.sanitizer is not None:

@@ -46,8 +46,11 @@ from repro.engine.events import (
     Charge,
     ComputeBegin,
     Corrected,
+    Degraded,
+    FaultInjected,
     IterationDone,
     Recv,
+    Retransmit,
     Send,
     Speculated,
     TryRecv,
@@ -175,8 +178,9 @@ class PipeTransport:
         self._pump()
         return self._pop_deliverable(time.monotonic(), match=None)
 
-    def recv(self, effect: Recv) -> Arrival:
+    def recv(self, effect: Recv) -> Optional[Arrival]:
         entry = time.monotonic()
+        deadline = None if effect.timeout is None else entry + effect.timeout
         while True:
             self._pump()
             now = time.monotonic()
@@ -190,11 +194,24 @@ class PipeTransport:
                 return Arrival(
                     src=arrival.src, iteration=arrival.iteration,
                     payload=arrival.payload, waited=end - entry,
+                    seq=arrival.seq,
                 )
+            if deadline is not None and now >= deadline:
+                # Bounded park expired empty (the engine's retransmit
+                # timer under fault injection): attribute the wait and
+                # let the engine escalate.
+                self.phase_seconds[effect.phase] = (
+                    self.phase_seconds.get(effect.phase, 0.0) + (now - entry)
+                )
+                self._mark = now
+                return None
             # Park until new bytes arrive or the earliest gated message
             # matures.  No polling loop: `connection.wait` blocks in
             # select(); a pure latency wait is one sleep to a deadline.
             timeout = self._next_maturity(now)
+            if deadline is not None:
+                remaining = max(0.0, deadline - now)
+                timeout = remaining if timeout is None else min(timeout, remaining)
             connection.wait(self._wait_list, timeout)
 
     def notify(self, effect: Any) -> Optional[float]:
@@ -241,6 +258,16 @@ class PipeTransport:
             self._emit("window", peer=effect.new_fw,
                        iteration=effect.iteration)
             self.window_events.append((effect.iteration, effect.new_fw))
+        elif kind is FaultInjected:
+            self._emit("fault", peer=effect.src, iteration=effect.iteration)
+        elif kind is Retransmit:
+            if san is not None:
+                san.on_retransmit(self.rank, effect.peer, effect.seq,
+                                  effect.attempt, effect.max_attempts)
+            self._emit("retransmit", peer=effect.peer, iteration=effect.seq)
+        elif kind is Degraded:
+            self._emit("degraded", peer=int(effect.active),
+                       iteration=effect.iteration)
         return None
 
     # ------------------------------------------------------------- internals
@@ -284,7 +311,8 @@ class PipeTransport:
         if self.sanitizer is not None:
             self.sanitizer.on_delivery(self.rank, best_src, seq)
         self._emit("recv", peer=best_src, iteration=iteration)
-        return Arrival(src=best_src, iteration=iteration, payload=payload)
+        return Arrival(src=best_src, iteration=iteration, payload=payload,
+                       seq=seq)
 
     def _next_maturity(self, now: float) -> Optional[float]:
         """Seconds until the earliest gated message matures (None =

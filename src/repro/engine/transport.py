@@ -37,8 +37,10 @@ class Transport(Protocol):
     def send(self, effect: Send) -> None:
         """Hand one protocol message to the medium (asynchronous)."""
 
-    def recv(self, effect: Recv) -> Arrival:
-        """Block until a matching protocol message is available."""
+    def recv(self, effect: Recv) -> Optional[Arrival]:
+        """Block until a matching protocol message is available (or,
+        when the effect carries a ``timeout``, until it expires — then
+        respond None so the engine's retransmit timer can escalate)."""
 
     def try_recv(self, effect: TryRecv) -> Optional[Arrival]:
         """Non-blocking receive; None when nothing is deliverable."""

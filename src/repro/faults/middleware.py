@@ -1,0 +1,193 @@
+"""Engine-side fault seam for the loopback and DES backends.
+
+:class:`FaultyEngine` wraps an engine's effect generator and injects
+the plan between the transport and the engine: arrivals responding to
+``Recv`` / ``TryRecv`` are filtered through the shared
+:class:`~repro.faults.injector.FaultInjector`, re-deliveries are
+served from the wrapper's local queue (never touching the wire, so
+the transport's own sequence bookkeeping stays contiguous), and the
+engine's :class:`~repro.engine.events.Retransmit` requests are
+serviced from the retained-loss buffer.  :class:`FaultInjected`
+events are pushed downstream so each backend's observer seat
+(sanitizer + EventLog) records them through its normal dispatch.
+
+Clocking: the injector's clock unit is one receive poll.  On the
+loopback the wrapper bounds blocking receives with ``Recv.timeout``
+(the runner resumes a parked rank with ``None`` after that many
+scheduler rounds); under DES — whose mailbox has no timeout — it
+polls with ``TryRecv`` and charges ``poll_ops`` of virtual comm time
+between polls, which *is* the "exponential backoff in transport clock
+units" of the retransmit story: waiting costs simulated time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import replace
+from typing import Any, Deque, Generator, Optional
+
+from repro.engine.core import RetransmitExhausted
+from repro.engine.events import (
+    Arrival,
+    Charge,
+    IterationDone,
+    Recv,
+    Retransmit,
+    TryRecv,
+)
+from repro.faults.injector import FaultInjector, InjectedCrash
+from repro.faults.plan import FaultPlan
+
+#: Attributes the wrapper keeps on itself; everything else proxies to
+#: the wrapped engine so drivers (which set ``engine.sanitizer``, read
+#: ``engine.fw`` / ``engine.stats``) never notice the seam.
+_OWN_ATTRS = frozenset({
+    "_engine", "_injector", "_charge_poll", "_poll_ops", "_pending",
+    "_stalled",
+})
+
+
+class FaultyEngine:
+    """Proxy an engine, injecting a :class:`FaultPlan` into its
+    effect stream (see the module docstring)."""
+
+    def __init__(
+        self,
+        engine: Any,
+        plan: FaultPlan,
+        charge_poll: bool = False,
+        poll_ops: Optional[float] = None,
+    ) -> None:
+        object.__setattr__(self, "_engine", engine)
+        object.__setattr__(self, "_injector", FaultInjector(plan, engine.rank))
+        object.__setattr__(self, "_charge_poll", charge_poll)
+        if poll_ops is None:
+            # One poll costs a sliver of an iteration's compute: enough
+            # to advance virtual time, cheap enough not to dominate.
+            poll_ops = 0.01 * float(engine.program.compute_ops(engine.rank))
+        object.__setattr__(self, "_poll_ops", poll_ops)
+        object.__setattr__(self, "_pending", deque())
+        object.__setattr__(self, "_stalled", 0)
+
+    # --------------------------------------------------------------- proxying
+    def __getattr__(self, name: str) -> Any:
+        return getattr(object.__getattribute__(self, "_engine"), name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in _OWN_ATTRS:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self._engine, name, value)
+
+    @property
+    def injector(self) -> FaultInjector:
+        return self._injector
+
+    # ---------------------------------------------------------------- running
+    def run(self) -> Generator:
+        inj = self._injector
+        gen = self._engine.run()
+        response: Any = None
+        while True:
+            try:
+                effect = gen.send(response)
+            except StopIteration as stop:
+                return stop.value
+            response = None
+            kind = type(effect)
+            if kind is Recv or kind is TryRecv:
+                response = yield from self._receive(effect)
+            elif kind is Retransmit:
+                inj.on_retransmit_request(effect.peer, effect.seq)
+                yield effect  # observers still record the request
+            elif kind is Charge:
+                slow = inj.slowdown_for(effect.iteration)
+                if slow > 1.0:
+                    effect = replace(effect, ops=effect.ops * slow)
+                yield effect
+            elif kind is IterationDone:
+                if inj.crash_due(effect.iteration):
+                    raise InjectedCrash(
+                        f"rank {self._engine.rank}: planned crash at "
+                        f"iteration {effect.iteration}"
+                    )
+                response = yield effect
+            else:
+                response = yield effect
+
+    def _receive(self, effect: Any) -> Generator:
+        """Satisfy one Recv/TryRecv through the fault layer."""
+        inj = self._injector
+        pending: Deque[Arrival] = self._pending
+        blocking = type(effect) is Recv
+        while True:
+            pending.extend(inj.tick())
+            if pending:
+                self._stalled = 0
+                return pending.popleft()
+            if not blocking:
+                arrival = yield TryRecv()
+                if arrival is None:
+                    return None
+            elif self._charge_poll and inj.outstanding():
+                # DES: no mailbox timeout — poll, paying virtual time.
+                arrival = yield TryRecv()
+                if arrival is None:
+                    yield Charge(
+                        ops=self._poll_ops, phase="comm",
+                        iteration=effect.iteration,
+                    )
+                    self._note_stall(effect)
+                    continue
+            else:
+                timeout = effect.timeout
+                if inj.outstanding():
+                    timeout = 1.0 if timeout is None else min(timeout, 1.0)
+                arrival = yield replace(effect, timeout=timeout)
+                if arrival is None:
+                    if effect.timeout is not None:
+                        return None  # the engine's own timer: let it escalate
+                    self._note_stall(effect)
+                    continue
+            self._stalled = 0
+            deliver, events = inj.admit(arrival)
+            for event in events:
+                yield event
+            pending.extend(deliver)
+
+    def _note_stall(self, effect: Any) -> None:
+        """One fruitless bounded poll while the engine itself set no
+        timeout (no sequence gap is open to escalate).
+
+        With ``plan.retransmit`` off a retained loss can never be
+        re-delivered, and when the loss also stalled its sender no
+        later arrival will ever open a gap — the engine's own retry
+        budget cannot engage.  Bound those silent polls so the run
+        fails loudly instead of livelocking.
+        """
+        inj = self._injector
+        if inj.plan.retransmit or not inj.lost:
+            self._stalled = 0
+            return
+        self._stalled += 1
+        budget = inj.plan.sender_timeout * (inj.plan.max_retries + 1)
+        if self._stalled > budget:
+            keys = sorted(inj.lost)
+            raise RetransmitExhausted(
+                f"rank {self._engine.rank}: dropped message(s) "
+                f"{keys} (src, seq) cannot be recovered — retransmission "
+                f"is disabled and no later arrival opened a sequence gap "
+                f"within {budget:g} polls"
+            )
+
+
+def wrap_engine(
+    engine: Any,
+    plan: Optional[FaultPlan],
+    charge_poll: bool = False,
+) -> Any:
+    """Wrap ``engine`` in the fault seam, or pass it through untouched
+    when no plan is given (the fault-free fast path stays unchanged)."""
+    if plan is None:
+        return engine
+    return FaultyEngine(engine, plan, charge_poll=charge_poll)

@@ -1,0 +1,139 @@
+"""Transport-side fault seam: pipes (and any Transport) backend.
+
+:class:`FaultyTransport` implements the
+:class:`~repro.engine.transport.Transport` protocol by wrapping a real
+transport (in production, :class:`~repro.engine.pipes.PipeTransport`).
+Sends pass through untouched — injection happens on the receive path,
+downstream of the inner transport's wire bookkeeping, so the pipe's
+seq-contiguity check and the sanitizer's wire-level
+``sequence-gap-freedom`` seat keep observing a clean wire.  What the
+*engine* sees is the perturbed stream, and the engine's resilience
+layer (gap stash + retransmit requests) is what heals it.
+
+The injector clock here is wall seconds (``time.monotonic``), so a
+plan's ``delay`` / ``retransmit_delay`` / ``sender_timeout`` are
+seconds on this backend.  Straggler slowdown is applied by stretching
+the wall time between effect boundaries (sleeping ``factor - 1``
+times the elapsed compute) — the same signature a genuinely slow rank
+would show the paper's timeline instruments.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Any, Deque, Optional
+
+from repro.engine.events import (
+    Arrival,
+    Charge,
+    IterationDone,
+    Recv,
+    Retransmit,
+    Send,
+    TryRecv,
+)
+from repro.faults.injector import FaultInjector, InjectedCrash
+from repro.faults.plan import FaultPlan
+
+#: How long one receive poll sleeps when nothing is deliverable but
+#: the injector still holds messages (seconds).
+_POLL_SECONDS = 0.002
+
+
+class FaultyTransport:
+    """Wrap any Transport, injecting a :class:`FaultPlan` (see module
+    docstring).  Unknown attributes proxy to the inner transport, so
+    drivers keep reading ``sanitizer`` / ``phase_seconds`` /
+    ``events`` off the wrapper unchanged."""
+
+    def __init__(self, inner: Any, plan: FaultPlan) -> None:
+        object.__setattr__(self, "inner", inner)
+        object.__setattr__(self, "injector", FaultInjector(plan, inner.rank))
+        object.__setattr__(self, "_pending", deque())
+        object.__setattr__(self, "_t0", time.monotonic())
+        object.__setattr__(self, "_charge_mark", time.monotonic())
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(object.__getattribute__(self, "inner"), name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in ("inner", "injector", "_pending", "_t0", "_charge_mark"):
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self.inner, name, value)
+
+    # ----------------------------------------------------------------- clock
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def _pump(self) -> None:
+        """Drain the inner transport and the injector's timers into
+        the local pending queue, notifying injected faults."""
+        pending: Deque[Arrival] = self._pending
+        while True:
+            arrival = self.inner.try_recv(TryRecv())
+            if arrival is None:
+                break
+            deliver, events = self.injector.admit(arrival)
+            for event in events:
+                self.inner.notify(event)
+            pending.extend(deliver)
+        pending.extend(self.injector.tick(self._now()))
+
+    # ------------------------------------------------------------- transport
+    def send(self, effect: Send) -> None:
+        self.inner.send(effect)
+
+    def try_recv(self, _effect: TryRecv) -> Optional[Arrival]:
+        self._pump()
+        pending = self._pending
+        return pending.popleft() if pending else None
+
+    def recv(self, effect: Recv) -> Optional[Arrival]:
+        deadline = (
+            None if effect.timeout is None else self._now() + effect.timeout
+        )
+        while True:
+            self._pump()
+            pending = self._pending
+            if pending:
+                return pending.popleft()
+            if deadline is not None and self._now() >= deadline:
+                return None
+            if self.injector.outstanding():
+                # A held message will mature on our own timers: poll.
+                time.sleep(_POLL_SECONDS)
+                continue
+            # Nothing held locally — park in the real transport, but
+            # wake periodically so the injector's timers keep running.
+            arrival = self.inner.recv(replace(effect, timeout=0.05))
+            if arrival is None:
+                continue
+            deliver, events = self.injector.admit(arrival)
+            for event in events:
+                self.inner.notify(event)
+            pending.extend(deliver)
+
+    def charge(self, effect: Charge) -> None:
+        slow = self.injector.slowdown_for(effect.iteration)
+        if slow > 1.0:
+            elapsed = time.monotonic() - self._charge_mark
+            if elapsed > 0:
+                time.sleep(elapsed * (slow - 1.0))
+        self.inner.charge(effect)
+        self._charge_mark = time.monotonic()
+
+    def notify(self, effect: Any) -> Any:
+        if type(effect) is Retransmit:
+            self.injector.on_retransmit_request(effect.peer, effect.seq)
+            return self.inner.notify(effect)
+        if type(effect) is IterationDone:
+            if self.injector.crash_due(effect.iteration):
+                raise InjectedCrash(
+                    f"rank {self.inner.rank}: planned crash at iteration "
+                    f"{effect.iteration}"
+                )
+            self._charge_mark = time.monotonic()
+        return self.inner.notify(effect)

@@ -101,8 +101,14 @@ def run_nbody(
     config: Optional[dict[str, Any]] = None,
     event_log: Optional[EventLog] = None,
     window_policy: Optional[Any] = None,
+    hist_cap: Optional[int] = None,
+    sanitize: Optional[bool] = None,
 ) -> tuple[NBodyProgram, RunResult]:
     """One measured N-body run on the calibrated platform.
+
+    Prefer :func:`repro.api.run` for new code that does not need the
+    calibrated WUSTL platform; this remains the harness primitive the
+    paper's experiments (and ``repro nbody``) drive.
 
     Returns the program (whose ``spec_stats`` carry particle-level
     counters) and the :class:`~repro.core.RunResult`.  Pass an
@@ -141,7 +147,7 @@ def run_nbody(
         cluster.event_log = event_log
     result = run_program(
         program, cluster, fw=fw, cascade=cfg["cascade"],
-        window_policy=window_policy,
+        window_policy=window_policy, hist_cap=hist_cap, sanitize=sanitize,
     )
     return program, result
 
@@ -158,6 +164,8 @@ def run_nbody_mp(
     record_events: bool = False,
     timeout: float = 300.0,
     window_policy: Optional[Any] = None,
+    hist_cap: Optional[int] = None,
+    sanitize: Optional[bool] = None,
 ) -> tuple[NBodyProgram, Any]:
     """One N-body run on **real OS processes** (the mp backend).
 
@@ -195,6 +203,8 @@ def run_nbody_mp(
         cascade=cfg["cascade"],
         record_events=record_events,
         window_policy=window_policy,
+        hist_cap=hist_cap,
+        sanitize=sanitize,
     )
     result = runner.run(timeout=timeout)
     return program, result

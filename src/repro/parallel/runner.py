@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Any, Optional
 
 from repro.core.program import SyncIterativeProgram
 from repro.engine.pipes import close_mesh, full_mesh
+from repro.faults import FaultPlan, merge_summaries
+from repro.faults.plan import FaultSummary
 from repro.parallel.worker import WorkerReport, worker_main
 from repro.policy import CascadePolicy, WindowPolicy
 from repro.trace.events import EventLog
@@ -45,7 +49,9 @@ class MPRunResult:
         """
         log = EventLog()
         for report in self.reports:
-            log.extend(report.events)
+            # One-shot post-run merge of the workers' own (finite) logs,
+            # not a long-running protocol buffer.
+            log.extend(report.events)  # specbound: disable=SPB406
         return log
 
     def window_history(self) -> dict[int, list[tuple[int, int]]]:
@@ -56,6 +62,31 @@ class MPRunResult:
     def final_windows(self) -> list[int]:
         """The FW each rank's engine ended the run with."""
         return [r.final_fw for r in self.reports]
+
+    def fault_summary(self) -> Optional[dict]:
+        """Fleet-wide injected-fault/recovery totals, None on clean runs."""
+        per_rank = [r.fault_summary for r in self.reports]
+        if all(s is None for s in per_rank):
+            return None
+        summaries = [
+            FaultSummary(
+                rank=s["rank"],
+                injected=dict(s["injected"]),
+                retransmits_serviced=s["retransmits_serviced"],
+                auto_retransmits=s["auto_retransmits"],
+                outstanding_losses=s["outstanding_losses"],
+            )
+            for s in per_rank
+            if s is not None
+        ]
+        merged = merge_summaries(summaries)
+        merged["retransmits_requested"] = sum(
+            r.retransmits for r in self.reports
+        )
+        merged["dups_suppressed"] = sum(
+            r.dups_suppressed for r in self.reports
+        )
+        return merged
 
     def phase_seconds(self, phase: str, how: str = "max") -> float:
         """Aggregate one phase's wall time over workers."""
@@ -117,6 +148,15 @@ class MPRunner:
         ranks adapt their forward windows independently on real wall
         clocks.  Decisions come back in ``WorkerReport.window_history``
         (see :meth:`MPRunResult.window_history`).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; each worker wraps
+        its pipe transport in a
+        :class:`~repro.faults.FaultyTransport`, so the plan's seeded
+        drops/duplicates/delays/reorders, straggler slowdowns and
+        crashes inject on the receive path while the engine's
+        retransmit layer recovers.  Per-rank receipts come back in
+        ``WorkerReport.fault_summary`` (see
+        :meth:`MPRunResult.fault_summary`).
     """
 
     def __init__(
@@ -131,6 +171,8 @@ class MPRunner:
         cascade: "CascadePolicy | str" = CascadePolicy.RECOMPUTE,
         sanitize: Optional[bool] = None,
         window_policy: Optional[WindowPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        hist_cap: Optional[int] = None,
     ) -> None:
         if fw < 0:
             raise ValueError("fw must be >= 0")
@@ -140,6 +182,8 @@ class MPRunner:
         self.fw = fw
         self.cascade = CascadePolicy.coerce(cascade)
         self.window_policy = window_policy
+        self.fault_plan = fault_plan
+        self.hist_cap = hist_cap
         self.latency = latency
         self.jitter = jitter
         self.seed = seed
@@ -177,24 +221,86 @@ class MPRunner:
                     self.cascade,
                     self.sanitize,
                     self.window_policy,
+                    self.fault_plan,
+                    self.hist_cap,
                 ),
                 daemon=True,
             )
             workers.append(proc)
         for proc in workers:
             proc.start()
+        # The children inherited their mesh endpoints on fork; the
+        # parent's copies would otherwise keep every pipe open even
+        # after a worker dies.
+        close_mesh(
+            conn for row in mesh.values() for conn in row.values()
+        )
 
+        # Multiplex over all result pipes rather than polling rank 0
+        # first: a rank that fails *before* the start barrier reports
+        # immediately while its peers are still parked at the barrier,
+        # and waiting rank-by-rank would burn the full timeout before
+        # noticing.  On the first error report the barrier is aborted
+        # so parked peers fail fast instead of hanging.
         reports: list[WorkerReport] = []
+        pending: dict[Any, int] = {
+            conn: rank for rank, conn in enumerate(result_conns)
+        }
+        deadline = time.monotonic() + timeout
+        #: Once any worker reports an error, its peers may be blocked
+        #: on receives that will never be satisfied — give them a short
+        #: grace window to fail on their own, then give up on them
+        #: rather than burning the full run timeout.
+        failure_grace = 10.0
+        failed = False
         try:
-            for rank, conn in enumerate(result_conns):
-                if not conn.poll(timeout):
-                    raise TimeoutError(f"worker {rank} did not report within {timeout}s")
-                reports.append(conn.recv())
+            while pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    missing = sorted(pending.values())
+                    if failed:
+                        reports.extend(
+                            WorkerReport(
+                                rank=rank,
+                                final_block=None,
+                                phase_seconds={},
+                                error="did not report after a peer failed",
+                            )
+                            for rank in missing
+                        )
+                        pending.clear()
+                        break
+                    raise TimeoutError(
+                        f"worker(s) {missing} did not report within {timeout}s"
+                    )
+                ready = mp_connection.wait(list(pending), timeout=remaining)
+                for conn in ready:
+                    rank = pending.pop(conn)
+                    try:
+                        report = conn.recv()
+                    except EOFError:
+                        report = WorkerReport(
+                            rank=rank,
+                            final_block=None,
+                            phase_seconds={},
+                            error="worker process died without reporting",
+                        )
+                    reports.append(report)
+                    if report.error is not None:
+                        barrier.abort()  # unpark peers still at the barrier
+                        if not failed:
+                            failed = True
+                            deadline = min(
+                                deadline, time.monotonic() + failure_grace
+                            )
         finally:
             for proc in workers:
                 proc.join(timeout=10)
-                if proc.is_alive():  # pragma: no cover - defensive
-                    proc.terminate()
+            stragglers = [proc for proc in workers if proc.is_alive()]
+            for proc in stragglers:  # pragma: no cover - defensive
+                proc.terminate()
+            for proc in stragglers:  # pragma: no cover - defensive
+                proc.join(timeout=5)
 
         failed = [r for r in reports if r.error is not None]
         if failed:

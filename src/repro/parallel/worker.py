@@ -29,6 +29,7 @@ from repro.engine.core import SpecEngine, topology
 from repro.engine.events import VARS  # noqa: F401  (re-export, back-compat)
 from repro.engine.pipes import PipeTransport
 from repro.engine.transport import drive
+from repro.faults import FaultPlan, FaultyTransport
 from repro.policy import WindowPolicy
 from repro.trace.events import TraceEvent
 
@@ -55,6 +56,13 @@ class WorkerReport:
     window_history: list[tuple[int, int]] = field(default_factory=list)
     #: The FW this rank's engine ended the run with.
     final_fw: int = 0
+    #: Retransmit requests this rank's engine issued.
+    retransmits: int = 0
+    #: Duplicate deliveries the engine suppressed by Send.seq.
+    dups_suppressed: int = 0
+    #: Injected-fault accounting (:meth:`FaultSummary.to_dict`) when
+    #: the worker ran under a fault plan; None on clean runs.
+    fault_summary: Optional[dict] = None
 
 
 def worker_main(
@@ -71,13 +79,16 @@ def worker_main(
     cascade: str = "recompute",
     sanitize: Optional[bool] = None,
     window_policy: Optional[WindowPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    hist_cap: Optional[int] = None,
 ) -> None:
     """Entry point executed inside each worker process."""
     try:
         report = _run_protocol(
             rank, program, fw, conns, latency, jitter, seed, start_barrier,
             record_events=record_events, cascade=cascade, sanitize=sanitize,
-            window_policy=window_policy,
+            window_policy=window_policy, fault_plan=fault_plan,
+            hist_cap=hist_cap,
         )
     except (KeyboardInterrupt, SystemExit):  # pragma: no cover - interactive
         # Never convert interpreter-shutdown signals into a report: the
@@ -99,14 +110,23 @@ def worker_main(
 def _run_protocol(
     rank, program, fw, conns, latency, jitter, seed, start_barrier,
     record_events=False, cascade="recompute", sanitize=None,
-    window_policy=None,
+    window_policy=None, fault_plan=None, hist_cap=None,
 ):
     """Build this rank's engine + transport and run to completion."""
     needed, audience = topology(program)
     stats = SpecStats(rank=rank)
+    retry_kwargs = (
+        {}
+        if fault_plan is None
+        else {
+            "max_retries": fault_plan.max_retries,
+            "retry_backoff": fault_plan.retry_backoff,
+        }
+    )
     engine = SpecEngine(
         program, rank, needed[rank], audience[rank],
         fw=fw, cascade=cascade, stats=stats, policy=window_policy,
+        hist_cap=hist_cap, **retry_kwargs,
     )
     transport = PipeTransport(
         rank, conns,
@@ -115,6 +135,10 @@ def _run_protocol(
         record_events=record_events,
         sanitize=sanitize,
     )
+    if fault_plan is not None:
+        # Receive-side injection downstream of the pipe's wire
+        # bookkeeping: the wire stays gap-free, the engine sees chaos.
+        transport = FaultyTransport(transport, fault_plan)
     # Same sanitizer instance in the engine's buffer-occupancy seat.
     engine.sanitizer = transport.sanitizer
 
@@ -136,4 +160,11 @@ def _run_protocol(
         events=transport.events,
         window_history=[(0, fw)] + transport.window_events,
         final_fw=engine.fw,
+        retransmits=stats.retransmits,
+        dups_suppressed=stats.dups_suppressed,
+        fault_summary=(
+            transport.injector.summary().to_dict()
+            if fault_plan is not None
+            else None
+        ),
     )

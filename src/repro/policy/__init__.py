@@ -17,6 +17,10 @@ transport:
   ``AdaptiveSpeculativeDriver._post_iteration``; because it is seated
   *inside* :class:`~repro.engine.core.SpecEngine` it now adapts on
   every backend (DES virtual time, loopback steps, real wall clocks).
+* :class:`DegradedWindow` — a loss-aware wrapper around any policy:
+  collapses FW toward 0 while the engine keeps reporting retransmits
+  and re-arms the inner policy after a clean streak (the resilience
+  layer's window response to persistent message loss).
 * :class:`CascadePolicy` — the correction-cascade choice, replacing
   the stringly-typed ``cascade="recompute"|"none"`` previously
   validated in three separate constructors.
@@ -27,6 +31,17 @@ workers and hash cheaply into the model checker's state fingerprints.
 """
 
 from repro.policy.cascade import CascadePolicy
-from repro.policy.window import AimdWindow, StaticWindow, WindowPolicy
+from repro.policy.window import (
+    AimdWindow,
+    DegradedWindow,
+    StaticWindow,
+    WindowPolicy,
+)
 
-__all__ = ["AimdWindow", "CascadePolicy", "StaticWindow", "WindowPolicy"]
+__all__ = [
+    "AimdWindow",
+    "CascadePolicy",
+    "DegradedWindow",
+    "StaticWindow",
+    "WindowPolicy",
+]

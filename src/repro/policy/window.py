@@ -190,3 +190,89 @@ class AimdWindow:
             float(self._mark_checks),
             float(self._mark_rejects),
         )
+
+
+@dataclass
+class DegradedWindow:
+    """Loss-aware wrapper: collapse FW toward 0 under persistent loss.
+
+    Wraps any :class:`WindowPolicy`.  While the engine keeps reporting
+    new retransmits (via the duck-typed :meth:`observe_losses` hook it
+    calls before each ``on_iteration``), speculation is a liability:
+    speculated inputs stand on messages the network is actively
+    losing, so every loss-window iteration *halves* the window toward
+    0 instead of consulting the inner policy.  After ``recover_after``
+    consecutive clean iterations the wrapper re-arms the inner policy,
+    which re-widens at its own pace.
+
+    The engine reads the public ``degraded`` flag after each decision
+    and emits a :class:`~repro.engine.events.Degraded` effect on every
+    flip, so traces show exactly when resilience mode engaged.
+    """
+
+    inner: "WindowPolicy"
+    recover_after: int = 3
+
+    #: True while loss-collapse is steering instead of ``inner``.
+    degraded: bool = field(default=False, init=False)
+    _seen_retransmits: int = field(default=0, init=False, repr=False)
+    _fresh_losses: bool = field(default=False, init=False, repr=False)
+    _clean_streak: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.recover_after < 1:
+            raise ValueError("recover_after must be >= 1")
+
+    @property
+    def min_fw(self) -> int:
+        return 0  # degradation may park the window at fully blocking
+
+    @property
+    def max_fw(self) -> int:
+        return self.inner.max_fw
+
+    def spawn(self) -> "DegradedWindow":
+        return DegradedWindow(
+            inner=self.inner.spawn(), recover_after=self.recover_after
+        )
+
+    def observe_losses(self, total_retransmits: int) -> None:
+        """Engine hook: cumulative retransmit count before a decision."""
+        self._fresh_losses = total_retransmits > self._seen_retransmits
+        self._seen_retransmits = total_retransmits
+
+    def on_iteration(
+        self,
+        t: int,
+        *,
+        fw: int,
+        epoch_wait: float,
+        checks: int,
+        rejects: int,
+        now: float,
+    ) -> int:
+        if self._fresh_losses:
+            self._fresh_losses = False
+            self._clean_streak = 0
+            self.degraded = True
+            return fw // 2
+        if self.degraded:
+            self._clean_streak += 1
+            if self._clean_streak < self.recover_after:
+                return fw  # hold collapsed until the loss truly passed
+            self.degraded = False
+        # Clean: delegate, clamped into the inner policy's bounds in
+        # case degradation parked fw below inner.min_fw.
+        new_fw = self.inner.on_iteration(
+            t, fw=max(fw, self.inner.min_fw), epoch_wait=epoch_wait,
+            checks=checks, rejects=rejects, now=now,
+        )
+        return max(self.inner.min_fw, min(new_fw, self.inner.max_fw))
+
+    def state(self) -> Tuple[float, ...]:
+        return (
+            float(self.degraded),
+            float(self._seen_retransmits),
+            float(self._fresh_losses),
+            float(self._clean_streak),
+        ) + tuple(self.inner.state())

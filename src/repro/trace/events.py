@@ -39,6 +39,9 @@ EVENT_KINDS = (
     "correct",    # rejected speculation repaired         (peer = src)
     "compute",    # one iteration's compute step entered  (peer = None)
     "window",     # window policy moved the rank's FW     (peer = new FW)
+    "fault",      # injected fault perturbed an arrival   (peer = src)
+    "retransmit", # engine requested a retransmission     (peer = src)
+    "degraded",   # degraded-window mode flipped          (peer = active)
 )
 
 

@@ -1,0 +1,150 @@
+"""Tests for the unified run API (`repro.api`).
+
+One `RunConfig` + `run()` must cover all three backends with a single
+report shape, and stay in exact agreement with the legacy per-backend
+entry points it wraps.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RunConfig, RunReport, run
+from repro.core import run_program
+from repro.engine.loopback import run_loopback
+from repro.faults import EdgeFault, FaultPlan
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.network import DelayNetwork
+from repro.vm import Cluster, uniform_specs
+
+from tests.toy_programs import CoupledIncrement
+
+
+def _program(p=4, iterations=10, **kw):
+    return CoupledIncrement(p, iterations, coupling=0.05, **kw)
+
+
+# ------------------------------------------------------------- validation
+def test_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown backend"):
+        RunConfig(_program(), backend="smoke-signals")
+
+
+def test_rejects_p_mismatch():
+    with pytest.raises(ValueError, match="program.nprocs"):
+        RunConfig(_program(p=4), p=8)
+
+
+def test_accepts_matching_p():
+    cfg = RunConfig(_program(p=4), p=4)
+    assert cfg.p == 4
+
+
+def test_rejects_negative_fw():
+    with pytest.raises(ValueError, match="fw must be >= 0"):
+        RunConfig(_program(), fw=-1)
+
+
+def test_rejects_zero_bw():
+    with pytest.raises(ValueError, match="bw"):
+        RunConfig(_program(), bw=0)
+
+
+def test_rejects_loopback_latency():
+    with pytest.raises(ValueError, match="loopback backend has no clock"):
+        RunConfig(_program(), backend="loopback", latency=0.1)
+
+
+def test_rejects_cluster_off_des():
+    cluster = Cluster(uniform_specs(4))
+    with pytest.raises(ValueError, match="DES-only"):
+        RunConfig(_program(), backend="loopback", cluster=cluster)
+
+
+def test_rejects_cluster_plus_latency():
+    cluster = Cluster(uniform_specs(4))
+    with pytest.raises(ValueError, match="mutually"):
+        RunConfig(_program(), backend="des", cluster=cluster, latency=0.5)
+
+
+# ---------------------------------------------------------------- parity
+def _des_cluster(p, latency=0.0):
+    return Cluster(
+        uniform_specs(p),
+        network_factory=lambda env: DelayNetwork(env, ConstantLatency(latency)),
+    )
+
+
+def test_des_parity_with_run_program():
+    prog = _program()
+    legacy = run_program(prog, _des_cluster(4, 0.01), fw=1, cascade="recompute")
+    report = run(RunConfig(prog, backend="des", fw=1, latency=0.01))
+    assert report.wall_seconds == legacy.makespan
+    for rank in range(prog.nprocs):
+        np.testing.assert_array_equal(
+            report.results[rank], legacy.final_blocks[rank]
+        )
+
+
+def test_loopback_parity_with_run_loopback():
+    prog = _program()
+    finals, stats, runner = run_loopback(prog, fw=1, cascade="recompute")
+    report = run(RunConfig(prog, backend="loopback", fw=1))
+    assert report.wall_seconds == float(runner.rounds)
+    for rank in range(prog.nprocs):
+        np.testing.assert_array_equal(report.results[rank], finals[rank])
+    assert [s.spec_made for s in report.stats] == [s.spec_made for s in stats]
+
+
+def test_all_backends_match_reference_physics():
+    # fw=1 + cascade="recompute" verifies every send before it leaves,
+    # so all three backends must land exactly on the serial recurrence.
+    prog = _program(p=2, iterations=6)
+    reference = prog.reference_run()
+    for backend in ("des", "loopback", "mp"):
+        report = run(
+            RunConfig(prog, backend=backend, fw=1, cascade="recompute",
+                      timeout=120.0)
+        )
+        assert report.backend == backend
+        for rank, expected in reference.items():
+            np.testing.assert_array_equal(report.results[rank], expected)
+
+
+# ---------------------------------------------------------- report shape
+def test_report_shape_loopback():
+    prog = _program()
+    report = run(RunConfig(prog, backend="loopback", fw=2))
+    assert isinstance(report, RunReport)
+    assert set(report.results) == set(range(prog.nprocs))
+    assert report.timings  # per-phase op tallies
+    assert all(v >= 0 for v in report.timings.values())
+    # Trajectories are seeded with the initial window on every backend.
+    assert all(h[0] == (0, 2) for h in report.window_history.values())
+    assert len(report.stats) == prog.nprocs
+    assert 0.0 <= report.rejection_rate <= 1.0
+    assert report.fault_summary is None
+    assert report.event_log is None
+
+
+def test_report_records_trace_when_asked():
+    report = run(RunConfig(_program(), backend="loopback", record_trace=True))
+    assert report.event_log is not None
+    assert len(report.event_log.events) > 0
+
+
+def test_bw_threads_through_to_engines():
+    prog = _program()
+    report = run(RunConfig(prog, backend="loopback", fw=1, bw=3))
+    assert all(eng.hist_cap == 3 for eng in report.raw.engines.values())
+
+
+def test_fault_summary_surfaces_in_report():
+    plan = FaultPlan(seed=7, edges=(EdgeFault(kind="drop", rate=0.2),))
+    prog = _program(p=4, iterations=12)
+    report = run(
+        RunConfig(prog, backend="loopback", fw=1, fault_plan=plan)
+    )
+    summary = report.fault_summary
+    assert summary is not None
+    assert summary["total_injected"] >= 1
+    assert summary["outstanding_losses"] == 0  # every drop healed

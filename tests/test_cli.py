@@ -42,6 +42,97 @@ def test_nbody_command(capsys):
     assert "rejected speculation" in out
 
 
+def test_nbody_shares_run_flags(capsys):
+    rc = main([
+        "nbody", "--p", "2", "--particles", "64", "--iterations", "3",
+        "--backend", "loopback", "--fw", "1",
+    ])
+    assert rc == 0
+    assert "scheduler rounds" in capsys.readouterr().out
+
+
+def test_mp_only_flags_rejected_off_mp(capsys):
+    # --latency must be a usage error on a clockless backend, not a
+    # silent no-op.
+    rc = main([
+        "nbody", "--p", "2", "--particles", "64", "--iterations", "3",
+        "--backend", "loopback", "--latency", "0.05",
+    ])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "--latency" in err
+    assert "--backend mp" in err
+
+    rc = main(["jacobi", "-p", "2", "--jitter", "0.5"])
+    assert rc == 2
+    assert "--jitter" in capsys.readouterr().err
+
+
+def test_jacobi_command(capsys):
+    rc = main([
+        "jacobi", "-p", "4", "-n", "48", "--iterations", "10",
+        "--backend", "loopback", "--sanitize",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "residual" in out
+    assert "rejected speculation" in out
+
+
+def test_chaos_command_verifies_bit_identical(capsys):
+    rc = main([
+        "chaos", "-p", "4", "-n", "32", "--iterations", "10",
+        "--backend", "loopback", "--fw", "1",
+        "--drop", "0.1", "--straggler", "1:2.0", "--fault-seed", "7",
+        "--verify",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "injected" in out
+    assert "0 outstanding" in out
+    assert "bit-identical" in out
+
+
+def test_chaos_plan_file(tmp_path, capsys):
+    from repro.faults import EdgeFault, FaultPlan
+
+    plan = FaultPlan(seed=7, edges=(EdgeFault(kind="drop", rate=0.1),))
+    path = tmp_path / "plan.json"
+    plan.save(str(path))
+    rc = main([
+        "chaos", "-p", "4", "-n", "32", "--iterations", "10",
+        "--backend", "loopback", "--fw", "1", "--plan", str(path),
+    ])
+    assert rc == 0
+    assert "injected" in capsys.readouterr().out
+
+
+def test_chaos_plan_excludes_inline_flags(capsys):
+    rc = main([
+        "chaos", "-p", "2", "--plan", "whatever.json", "--drop", "0.1",
+    ])
+    assert rc == 2
+
+
+def test_chaos_unrecovered_loss_reported(capsys):
+    rc = main([
+        "chaos", "-p", "2", "-n", "16", "--iterations", "4",
+        "--backend", "loopback", "--fw", "1",
+        "--drop", "1.0", "--no-retransmit",
+    ])
+    assert rc == 1
+    assert "unrecovered loss" in capsys.readouterr().out
+
+
+def test_chaos_crash_reported(capsys):
+    rc = main([
+        "chaos", "-p", "2", "-n", "16", "--iterations", "8",
+        "--backend", "loopback", "--fw", "1", "--crash", "1:3",
+    ])
+    assert rc == 1
+    assert "planned crash" in capsys.readouterr().out
+
+
 def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):

@@ -29,7 +29,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def test_registry_is_well_formed():
-    assert len(INVARIANTS) == 11
+    assert len(INVARIANTS) == 12
     for invariant_id, inv in INVARIANTS.items():
         assert inv.id == invariant_id
         assert inv.title and inv.summary
